@@ -1,0 +1,195 @@
+// Command gdeltquery runs ad-hoc analysis queries against a converted
+// binary GDELT database, loading it fully into memory first (the paper's
+// read-only query workflow).
+//
+// Usage:
+//
+//	gdeltquery -db ./gdelt.gdmb -query stats
+//	gdeltquery -db ./gdelt.gdmb -query top-events -k 10
+//	gdeltquery -db ./gdelt.gdmb -query top-publishers -k 10
+//	gdeltquery -db ./gdelt.gdmb -query follow -k 10
+//	gdeltquery -db ./gdelt.gdmb -query coreport -k 10
+//	gdeltquery -db ./gdelt.gdmb -query country
+//	gdeltquery -db ./gdelt.gdmb -query delay -k 10
+//	gdeltquery -db ./gdelt.gdmb -query series
+//	gdeltquery -db ./gdelt.gdmb -query cluster -k 30
+//
+// The -workers flag pins the engine's parallelism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"gdeltmine"
+	"gdeltmine/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gdeltquery: ")
+	var (
+		dbPath  = flag.String("db", "", "binary database path (required)")
+		query   = flag.String("query", "stats", "query: stats, top-events, top-publishers, follow, coreport, country, delay, series, cluster, themes, wildfires, graph")
+		k       = flag.Int("k", 10, "result size for top-k style queries")
+		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		where   = flag.String("where", "", "filter expression for count/filtered-publishers/filtered-series, e.g. \"sourcecountry=UK and delay>96\"")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	ds, err := gdeltmine.OpenBinary(*dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %s articles in %v\n\n", report.Int(int64(ds.Articles())), time.Since(start).Round(time.Millisecond))
+	ds = ds.WithWorkers(*workers)
+
+	start = time.Now()
+	switch *query {
+	case "stats":
+		fmt.Print(report.TableI(ds.Stats()))
+		fmt.Println()
+		fmt.Print(report.TableII(ds.Report()))
+	case "top-events":
+		fmt.Print(report.TableIII(ds.TopEvents(*k)))
+	case "top-publishers":
+		ids, counts := ds.TopPublishers(*k)
+		rows := make([][]string, len(ids))
+		for i := range ids {
+			rows[i] = []string{fmt.Sprintf("%d", i+1), ds.SourceName(ids[i]), report.Int(counts[i])}
+		}
+		fmt.Print(report.Table("Most productive news websites", []string{"Rank", "Source", "Articles"}, rows))
+	case "follow":
+		ids, _ := ds.TopPublishers(*k)
+		fmt.Print(report.TableIV(ds.FollowReport(ids)))
+	case "coreport":
+		ids, _ := ds.TopPublishers(*k)
+		co, err := ds.CoReport(ids)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report.Matrix("Co-reporting (Jaccard) among top publishers", co.Names, co.Names,
+			func(i, j int) string {
+				if i == j {
+					return ""
+				}
+				return report.F(co.Jaccard.At(i, j), 3)
+			}))
+	case "country":
+		cr, err := ds.CountryReport()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report.TableV(cr, 10))
+		fmt.Println()
+		fmt.Print(report.TableVI(cr, 10))
+		fmt.Println()
+		fmt.Print(report.TableVII(cr, 10))
+	case "delay":
+		ids, _ := ds.TopPublishers(*k)
+		fmt.Print(report.TableVIII(ds.PublisherDelays(ids)))
+	case "series":
+		fmt.Print(report.FigureSeries("Active sources per quarter", ds.ActiveSourcesPerQuarter()))
+		fmt.Print(report.FigureSeries("Events per quarter", ds.EventsPerQuarter()))
+		fmt.Print(report.FigureSeries("Articles per quarter", ds.ArticlesPerQuarter()))
+	case "count":
+		n, err := ds.CountWhere(*where)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("articles matching %q: %s\n", *where, report.Int(n))
+	case "filtered-publishers":
+		ids, counts, err := ds.TopPublishersWhere(*where, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := make([][]string, len(ids))
+		for i := range ids {
+			rows[i] = []string{fmt.Sprintf("%d", i+1), ds.SourceName(ids[i]), report.Int(counts[i])}
+		}
+		fmt.Print(report.Table(fmt.Sprintf("Most productive sources where %q", *where),
+			[]string{"Rank", "Source", "Articles"}, rows))
+	case "filtered-series":
+		s, err := ds.ArticlesPerQuarterWhere(*where)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report.FigureSeries(fmt.Sprintf("Articles per quarter where %q", *where), s))
+	case "themes":
+		top, err := ds.TopThemes(*k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := make([][]string, len(top))
+		for i, tc := range top {
+			rows[i] = []string{fmt.Sprintf("%d", i+1), tc.Theme, report.Int(tc.Articles)}
+		}
+		fmt.Print(report.Table("Dominant GKG themes", []string{"Rank", "Theme", "Articles"}, rows))
+	case "wildfires":
+		fires := ds.FastSpreadingEvents(8, 5, *k)
+		rows := make([][]string, len(fires))
+		for i, w := range fires {
+			rows[i] = []string{fmt.Sprintf("%d", w.EventID), fmt.Sprintf("%d", w.EarlySources),
+				fmt.Sprintf("%d", w.EarlyArticles), fmt.Sprintf("%d", w.TotalArticles),
+				report.F(w.Velocity, 2)}
+		}
+		fmt.Print(report.Table("Fast-spreading events (window 2h, >=5 sources)",
+			[]string{"Event", "EarlySources", "EarlyArticles", "Total", "Velocity"}, rows))
+	case "graph":
+		ids, _ := ds.TopPublishers(*k)
+		g, err := ds.SourceGraph(ids, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr := g.PageRank(gdeltmine.PageRankOptions{})
+		comps := g.Components()
+		fmt.Printf("co-reporting graph over top %d publishers: %d edges, %d components (largest %d)\n",
+			g.N, g.Edges(), len(comps), len(comps[0]))
+		order := make([]int, g.N)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return pr[order[a]] > pr[order[b]] })
+		fmt.Println("most central sources (PageRank):")
+		for i := 0; i < 10 && i < len(order); i++ {
+			v := order[i]
+			fmt.Printf("  %2d. %-34s %.4f (degree %d)\n", i+1, ds.SourceName(ids[v]), pr[v], g.Degree(v))
+		}
+	case "cluster":
+		ids, _ := ds.TopPublishers(*k)
+		res, err := ds.ClusterSources(ids, gdeltmine.MCLOptions{Inflation: 1.6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("MCL over the co-reporting matrix of the top %d publishers (%d iterations, converged=%v):\n",
+			len(ids), res.Iterations, res.Converged)
+		for c, cl := range res.Clusters {
+			names := make([]string, len(cl))
+			for i, pos := range cl {
+				names[i] = ds.SourceName(ids[pos])
+			}
+			fmt.Printf("  cluster %d (%d members): %s\n", c+1, len(cl), strings.Join(names, ", "))
+		}
+	default:
+		log.Fatalf("unknown query %q", *query)
+	}
+	fmt.Printf("\nquery time: %v (workers=%d)\n", time.Since(start).Round(time.Millisecond), workersOrDefault(*workers))
+}
+
+func workersOrDefault(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}

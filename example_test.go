@@ -1,0 +1,67 @@
+package gdeltmine_test
+
+import (
+	"fmt"
+	"log"
+
+	"gdeltmine"
+)
+
+// exampleDataset builds the deterministic small corpus once for the godoc
+// examples.
+func exampleDataset() *gdeltmine.Dataset {
+	corpus, err := gdeltmine.GenerateCorpus(gdeltmine.SmallCorpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := gdeltmine.BuildDataset(corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds
+}
+
+// The basic pipeline: build a dataset and read its Table I statistics.
+func Example() {
+	ds := exampleDataset()
+	st := ds.Stats()
+	fmt.Println("sources:", st.Sources)
+	fmt.Println("min articles per event:", st.MinArticles)
+	// Output:
+	// sources: 120
+	// min articles per event: 1
+}
+
+// Counting with the filter expression language.
+func ExampleDataset_CountWhere() {
+	ds := exampleDataset()
+	all, _ := ds.CountWhere("")
+	slow, _ := ds.CountWhere("delay>96")
+	fmt.Println("slow articles are a minority:", slow < all/4)
+	// Output:
+	// slow articles are a minority: true
+}
+
+// Publishing-delay structure of the top publishers (Table VIII shape).
+func ExampleDataset_PublisherDelays() {
+	ds := exampleDataset()
+	ids, _ := ds.TopPublishers(3)
+	for _, st := range ds.PublisherDelays(ids) {
+		fmt.Println(st.Min == 1, st.Median >= 8 && st.Median <= 32, st.Average > float64(st.Median))
+	}
+	// Output:
+	// true true true
+	// true true true
+	// true true true
+}
+
+// Restricting queries to a capture-time window.
+func ExampleDataset_Window() {
+	ds := exampleDataset()
+	y2017 := ds.Window(20170101000000, 20180101000000)
+	fmt.Println("window smaller than whole:", y2017.WindowArticles() < ds.Articles())
+	fmt.Println("window non-empty:", y2017.WindowArticles() > 0)
+	// Output:
+	// window smaller than whole: true
+	// window non-empty: true
+}

@@ -1,0 +1,90 @@
+// Countrylens: how the world's press looks at the world.
+//
+// This example reproduces the paper's country-level analyses (Sections VI-C
+// and VI-D) through the public API: it runs the single aggregated country
+// query and then asks three questions — which national news spheres overlap
+// (Table V), whose events dominate global attention (Tables VI/VII), and
+// how the engine's wall-clock time responds to the worker count (the
+// Figure 12 strong-scaling experiment).
+//
+// Run with:
+//
+//	go run ./examples/countrylens
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"gdeltmine"
+)
+
+func main() {
+	log.SetFlags(0)
+	corpus, err := gdeltmine.GenerateCorpus(gdeltmine.SmallCorpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := gdeltmine.BuildDataset(corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cr, err := ds.CountryReport()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("strongest national news-sphere overlaps (co-reporting Jaccard):")
+	type pair struct {
+		a, b int
+		v    float64
+	}
+	var bestPairs []pair
+	top := cr.TopPublishing[:10]
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			bestPairs = append(bestPairs, pair{top[i], top[j], cr.CoReporting.At(top[i], top[j])})
+		}
+	}
+	for k := 0; k < 5; k++ {
+		bi := k
+		for m := k + 1; m < len(bestPairs); m++ {
+			if bestPairs[m].v > bestPairs[bi].v {
+				bi = m
+			}
+		}
+		bestPairs[k], bestPairs[bi] = bestPairs[bi], bestPairs[k]
+		p := bestPairs[k]
+		fmt.Printf("  %-14s <-> %-14s %.3f\n",
+			gdeltmine.Countries[p.a].Name, gdeltmine.Countries[p.b].Name, p.v)
+	}
+
+	fmt.Println("\nshare of each press's attention going to the United States:")
+	us := gdeltmine.CountryIndex("US")
+	for _, pub := range top {
+		fmt.Printf("  %-14s %5.1f%%\n", gdeltmine.Countries[pub].Name, cr.Fractions.At(us, pub))
+	}
+
+	fmt.Println("\nmost reported countries (by events):")
+	for i, c := range cr.TopReported[:5] {
+		fmt.Printf("  %d. %-14s %d events\n", i+1, gdeltmine.Countries[c].Name, cr.EventCounts[c])
+	}
+
+	// The Figure 12 experiment: the same aggregated query at 1..P workers.
+	fmt.Printf("\nstrong scaling of the aggregated query (GOMAXPROCS=%d):\n", runtime.GOMAXPROCS(0))
+	var t1 time.Duration
+	for w := 1; w <= 8; w *= 2 {
+		start := time.Now()
+		if _, err := ds.WithWorkers(w).CountryReport(); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if w == 1 {
+			t1 = elapsed
+		}
+		fmt.Printf("  workers=%d  %10v  speedup %.2fx\n", w, elapsed.Round(time.Microsecond), float64(t1)/float64(elapsed))
+	}
+}

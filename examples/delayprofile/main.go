@@ -1,0 +1,99 @@
+// Delayprofile: is the news getting faster?
+//
+// The paper's "primary question about today's online news world" (Section
+// VI-E/F): how quickly do articles follow the events they report, and is
+// that speed increasing? This example reproduces the delay investigation
+// through the public API — per-source delay profiles, the quarterly trend,
+// the >24h article decline — and then uses the time-window and filter-
+// expression features to drill into a single year and a single country's
+// press.
+//
+// Run with:
+//
+//	go run ./examples/delayprofile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gdeltmine"
+)
+
+func main() {
+	log.SetFlags(0)
+	corpus, err := gdeltmine.GenerateCorpus(gdeltmine.SmallCorpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := gdeltmine.BuildDataset(corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Figure 10 trend.
+	qd := ds.QuarterlyDelays()
+	year := func(q0 int) (avg float64, med float64) {
+		for q := q0; q < q0+4; q++ {
+			avg += qd.Average[q] / 4
+			med += float64(qd.Median[q]) / 4
+		}
+		return
+	}
+	a16, m16 := year(4)
+	a19, m19 := year(16)
+	fmt.Printf("quarterly delay trend: 2016 avg %.0f -> 2019 avg %.0f intervals (%.0f%% decline)\n",
+		a16, a19, 100*(1-a19/a16))
+	fmt.Printf("medians stay flat: 2016 %.1f -> 2019 %.1f intervals\n", m16, m19)
+
+	// The Figure 11 explanation: slow articles are disappearing.
+	slow := ds.SlowArticlesPerQuarter()
+	arts := ds.ArticlesPerQuarter()
+	f := func(q int) float64 { return float64(slow.Values[q]) / float64(arts.Values[q]) }
+	fmt.Printf(">24h article share: 2016Q1 %.1f%% -> 2019Q4 %.1f%%\n", 100*f(4), 100*f(19))
+
+	// Drill-down 1: a single year through the time-window API.
+	y2017 := ds.Window(20170101000000, 20180101000000)
+	fmt.Printf("\n2017 window: %d articles visible to windowed scans\n", y2017.WindowArticles())
+	ids, counts := y2017.TopPublishers(3)
+	fmt.Println("most productive publishers in 2017 alone:")
+	for i, id := range ids {
+		fmt.Printf("  %d. %-34s %6d articles\n", i+1, ds.SourceName(id), counts[i])
+	}
+
+	// Drill-down 2: filter expressions over delay and geography.
+	for _, expr := range []string{
+		"delay<=8",
+		"delay>96",
+		"sourcecountry=UK and delay>96",
+		"eventcountry=US and delay<=4 and quarter>=2019Q1",
+	} {
+		n, err := ds.CountWhere(expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("articles where %-48q %8d\n", expr, n)
+	}
+
+	// Per-source extremes from the full Figure 9 sweep.
+	dd := ds.DelayDistribution()
+	var fastest, slowest *gdeltmine.SourceDelayStats
+	for i := range dd.PerSource {
+		st := &dd.PerSource[i]
+		if st.Articles < 20 {
+			continue
+		}
+		if fastest == nil || st.Median < fastest.Median {
+			fastest = st
+		}
+		if slowest == nil || st.Median > slowest.Median {
+			slowest = st
+		}
+	}
+	if fastest != nil && slowest != nil {
+		fmt.Printf("\nfastest outlet: %s (median %d intervals over %d articles)\n",
+			fastest.Name, fastest.Median, fastest.Articles)
+		fmt.Printf("slowest outlet: %s (median %d intervals over %d articles)\n",
+			slowest.Name, slowest.Median, slowest.Articles)
+	}
+}

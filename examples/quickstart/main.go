@@ -1,0 +1,95 @@
+// Quickstart: the full gdeltmine pipeline in one program.
+//
+// It generates a small synthetic GDELT dataset in the real raw format,
+// converts it to the indexed binary database, loads that database fully
+// into memory, and runs a first round of analyses — the workflow a study
+// over the real archive follows, minus the download.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gdeltmine"
+)
+
+func main() {
+	log.SetFlags(0)
+	workDir, err := os.MkdirTemp("", "gdeltmine-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(workDir)
+
+	// 1. Generate a synthetic five-year archive in raw GDELT 2.0 format.
+	corpus, err := gdeltmine.GenerateCorpus(gdeltmine.SmallCorpus())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rawDir := filepath.Join(workDir, "raw")
+	if _, err := gdeltmine.WriteRawDataset(corpus, rawDir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw dataset: %d events, %d articles under %s\n",
+		len(corpus.Events), len(corpus.Mentions), rawDir)
+
+	// 2. Convert once: parse, clean, validate, index.
+	start := time.Now()
+	ds, err := gdeltmine.ConvertRaw(rawDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converted in %v; defects found: %d\n", time.Since(start).Round(time.Millisecond), ds.Report().Total())
+
+	binPath := filepath.Join(workDir, "gdelt.gdmb")
+	if err := ds.SaveBinary(binPath); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Every later session loads the binary database in one shot.
+	start = time.Now()
+	ds, err = gdeltmine.OpenBinary(binPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded binary database in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	// 4. Analyze.
+	st := ds.Stats()
+	fmt.Printf("dataset: %d sources, %d events, %d articles, %.2f articles/event\n",
+		st.Sources, st.Events, st.Articles, st.WeightedAvg)
+
+	ids, counts := ds.TopPublishers(5)
+	fmt.Println("\nmost productive news websites:")
+	for i, id := range ids {
+		fmt.Printf("  %d. %-32s %8d articles\n", i+1, ds.SourceName(id), counts[i])
+	}
+
+	top := ds.TopEvents(3)
+	fmt.Println("\nmost reported events:")
+	for _, ev := range top {
+		fmt.Printf("  %5d mentions  %s\n", ev.Mentions, ev.SourceURL)
+	}
+
+	// Compare full years (the first year is truncation-biased: long delays
+	// cannot be observed until the archive is old enough to contain them).
+	qd := ds.QuarterlyDelays()
+	year := func(first int) (avg float64, med int64) {
+		for q := first; q < first+4; q++ {
+			avg += qd.Average[q] / 4
+			med += qd.Median[q] / 4
+		}
+		return avg, med
+	}
+	a16, m16 := year(4)  // 2016
+	a19, m19 := year(16) // 2019
+	fmt.Printf("\npublishing delay, 2016 vs 2019: average %.0f -> %.0f intervals, median %d -> %d\n",
+		a16, a19, m16, m19)
+}

@@ -1,0 +1,3 @@
+module gdeltmine
+
+go 1.22

@@ -1,0 +1,239 @@
+package convert
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/gen"
+)
+
+func generateSmall(t testing.TB) *gen.Corpus {
+	t.Helper()
+	c, err := gen.Generate(gen.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFromCorpus(t *testing.T) {
+	c := generateSmall(t)
+	res, err := FromCorpus(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := res.DB
+	if db.Events.Len() != len(c.Events) {
+		t.Fatalf("events %d vs %d", db.Events.Len(), len(c.Events))
+	}
+	if db.Mentions.Len() != len(c.Mentions) {
+		t.Fatalf("mentions %d vs %d", db.Mentions.Len(), len(c.Mentions))
+	}
+	if res.Stats.DanglingMentions != 0 || res.Stats.DroppedMentions != 0 || res.Stats.DuplicateEvents != 0 {
+		t.Fatalf("unexpected drops: %+v", res.Stats)
+	}
+	// The corpus defects surface in the report.
+	cfg := c.World.Cfg
+	if got := db.Report.Counts[gdelt.DefectMissingSourceURL]; got != int64(cfg.DefectMissingSourceURL) {
+		t.Fatalf("missing url %d want %d", got, cfg.DefectMissingSourceURL)
+	}
+	if got := db.Report.Counts[gdelt.DefectFutureEventDate]; got != int64(cfg.DefectFutureEventDate) {
+		t.Fatalf("future date %d want %d", got, cfg.DefectFutureEventDate)
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRawDirReproducesTableII(t *testing.T) {
+	c := generateSmall(t)
+	dir := t.TempDir()
+	if _, err := gen.WriteRaw(c, dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := res.DB
+	cfg := c.World.Cfg
+	r := db.Report
+
+	// Table II ground truth: all four defect classes at their configured
+	// counts. Missing archives may hide the missing-URL/future-date victim
+	// events, so those two are upper-bounded by the configured counts.
+	if got := r.Counts[gdelt.DefectMalformedMasterEntry]; got != int64(cfg.DefectMalformedMaster) {
+		t.Fatalf("malformed master %d want %d", got, cfg.DefectMalformedMaster)
+	}
+	if got := r.Counts[gdelt.DefectMissingArchive]; got != int64(cfg.DefectMissingArchives) {
+		t.Fatalf("missing archives %d want %d", got, cfg.DefectMissingArchives)
+	}
+	if got := r.Counts[gdelt.DefectMissingSourceURL]; got > int64(cfg.DefectMissingSourceURL) {
+		t.Fatalf("missing url %d want <= %d", got, cfg.DefectMissingSourceURL)
+	}
+	if got := r.Counts[gdelt.DefectFutureEventDate]; got > int64(cfg.DefectFutureEventDate) {
+		t.Fatalf("future date %d want <= %d", got, cfg.DefectFutureEventDate)
+	}
+	if r.Counts[gdelt.DefectChecksumMismatch] != 0 {
+		t.Fatalf("checksum mismatches %d", r.Counts[gdelt.DefectChecksumMismatch])
+	}
+
+	// Events/mentions: everything except what lived in the withheld chunks.
+	if db.Events.Len() > len(c.Events) || db.Events.Len() < len(c.Events)*8/10 {
+		t.Fatalf("events %d vs corpus %d", db.Events.Len(), len(c.Events))
+	}
+	if db.Mentions.Len() > len(c.Mentions) || db.Mentions.Len() < len(c.Mentions)*8/10 {
+		t.Fatalf("mentions %d vs corpus %d", db.Mentions.Len(), len(c.Mentions))
+	}
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Meta must match the corpus exactly thanks to the sidecar.
+	if db.Meta.Start != gdelt.Timestamp(cfg.Start) {
+		t.Fatalf("start %v", db.Meta.Start)
+	}
+	if int(db.Meta.Intervals) != c.World.Days()*gdelt.IntervalsPerDay {
+		t.Fatalf("intervals %d", db.Meta.Intervals)
+	}
+	if db.NumQuarters() != 20 {
+		t.Fatalf("quarters %d want 20", db.NumQuarters())
+	}
+}
+
+func TestRawAndCorpusAgreeWithoutDefects(t *testing.T) {
+	cfg := gen.Small()
+	cfg.DefectMalformedMaster = 0
+	cfg.DefectMissingArchives = 0
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := gen.WriteRaw(c, dir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := FromCorpus(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.DB.Events.Len() != direct.DB.Events.Len() {
+		t.Fatalf("events %d vs %d", raw.DB.Events.Len(), direct.DB.Events.Len())
+	}
+	if raw.DB.Mentions.Len() != direct.DB.Mentions.Len() {
+		t.Fatalf("mentions %d vs %d", raw.DB.Mentions.Len(), direct.DB.Mentions.Len())
+	}
+	// Same per-event article counts.
+	for i := range raw.DB.Events.ID {
+		if raw.DB.Events.ID[i] != direct.DB.Events.ID[i] ||
+			raw.DB.Events.NumArticles[i] != direct.DB.Events.NumArticles[i] {
+			t.Fatalf("event %d differs: id %d/%d articles %d/%d", i,
+				raw.DB.Events.ID[i], direct.DB.Events.ID[i],
+				raw.DB.Events.NumArticles[i], direct.DB.Events.NumArticles[i])
+		}
+	}
+	// Same delay distribution (order may differ within an interval).
+	var sumRaw, sumDirect int64
+	for _, d := range raw.DB.Mentions.Delay {
+		sumRaw += int64(d)
+	}
+	for _, d := range direct.DB.Mentions.Delay {
+		sumDirect += int64(d)
+	}
+	if sumRaw != sumDirect {
+		t.Fatalf("delay sums differ: %d vs %d", sumRaw, sumDirect)
+	}
+}
+
+func TestFromRawDirMissingMaster(t *testing.T) {
+	if _, err := FromRawDir(t.TempDir()); err == nil {
+		t.Fatal("missing master list should fail")
+	}
+}
+
+func TestFromRawDirEmptyMaster(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, gen.MasterFileName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromRawDir(dir); err == nil {
+		t.Fatal("empty master list should fail")
+	}
+}
+
+func TestFromRawDirBadInfoSidecar(t *testing.T) {
+	c := generateSmall(t)
+	dir := t.TempDir()
+	if _, err := gen.WriteRaw(c, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, gen.InfoFileName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromRawDir(dir); err == nil {
+		t.Fatal("malformed sidecar should fail")
+	}
+}
+
+func TestFromRawDirInferredSpan(t *testing.T) {
+	c := generateSmall(t)
+	dir := t.TempDir()
+	if _, err := gen.WriteRaw(c, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, gen.InfoFileName)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the sidecar the span is inferred from chunk spacing; it must
+	// cover at least the real archive.
+	if res.DB.Meta.Start != gdelt.Timestamp(c.World.Cfg.Start) {
+		t.Fatalf("inferred start %v", res.DB.Meta.Start)
+	}
+	if int(res.DB.Meta.Intervals) < c.World.Days()*gdelt.IntervalsPerDay {
+		t.Fatalf("inferred span too small: %d", res.DB.Meta.Intervals)
+	}
+}
+
+func TestFromRawDirDetectsTamperedChunk(t *testing.T) {
+	c := generateSmall(t)
+	dir := t.TempDir()
+	res, err := gen.WriteRaw(c, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one written chunk file by appending a byte.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".csv" {
+			victim = filepath.Join(dir, e.Name())
+			break
+		}
+	}
+	f, err := os.OpenFile(victim, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("\n")
+	f.Close()
+	conv, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.DB.Report.Counts[gdelt.DefectChecksumMismatch] != 1 {
+		t.Fatalf("checksum mismatch count %d", conv.DB.Report.Counts[gdelt.DefectChecksumMismatch])
+	}
+	_ = res
+}

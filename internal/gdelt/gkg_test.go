@@ -1,0 +1,105 @@
+package gdelt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleGKG() GKGRecord {
+	return GKGRecord{
+		RecordID:      "20160612083000-42",
+		Date:          20160612083000,
+		SourceName:    "dailyecho.co.uk",
+		DocID:         "https://dailyecho.co.uk/news/1",
+		Themes:        []string{"TERROR", "KILL", "WB_2024_SECURITY"},
+		Persons:       []string{"john smith", "jane doe"},
+		Organizations: []string{"metropolitan police"},
+		Tone:          -7.25,
+		Translated:    true,
+	}
+}
+
+func TestGKGRowRoundTrip(t *testing.T) {
+	r := sampleGKG()
+	row := AppendGKGRow(nil, &r)
+	if n := bytes.Count(row, []byte{'\t'}); n != len(GKGColumns)-1 {
+		t.Fatalf("gkg row has %d tabs, want %d", n, len(GKGColumns)-1)
+	}
+	got, err := ParseGKGFields(SplitTabs(row, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RecordID != r.RecordID || got.Date != r.Date ||
+		got.SourceName != r.SourceName || got.DocID != r.DocID {
+		t.Fatalf("identity: %+v", got)
+	}
+	if len(got.Themes) != 3 || got.Themes[0] != "TERROR" || got.Themes[2] != "WB_2024_SECURITY" {
+		t.Fatalf("themes %v", got.Themes)
+	}
+	if len(got.Persons) != 2 || got.Persons[1] != "jane doe" {
+		t.Fatalf("persons %v", got.Persons)
+	}
+	if len(got.Organizations) != 1 {
+		t.Fatalf("orgs %v", got.Organizations)
+	}
+	if got.Tone != -7.25 {
+		t.Fatalf("tone %v", got.Tone)
+	}
+	if !got.Translated {
+		t.Fatal("translation flag lost")
+	}
+}
+
+func TestGKGEmptyAnnotations(t *testing.T) {
+	r := sampleGKG()
+	r.Themes = nil
+	r.Persons = nil
+	r.Organizations = nil
+	r.Translated = false
+	got, err := ParseGKGFields(SplitTabs(AppendGKGRow(nil, &r), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Themes != nil || got.Persons != nil || got.Organizations != nil {
+		t.Fatalf("expected empty annotations: %+v", got)
+	}
+	if got.Translated {
+		t.Fatal("translation flag invented")
+	}
+}
+
+func TestGKGParseErrors(t *testing.T) {
+	if _, err := ParseGKGFields(SplitTabs([]byte("a\tb"), nil)); err == nil {
+		t.Fatal("short row accepted")
+	}
+	r := sampleGKG()
+	row := AppendGKGRow(nil, &r)
+	fields := SplitTabs(row, nil)
+	fields[GkgColDate] = []byte("yesterday")
+	if _, err := ParseGKGFields(fields); err == nil {
+		t.Fatal("bad date accepted")
+	}
+	fields = SplitTabs(row, nil)
+	fields[GkgColRecordID] = nil
+	if _, err := ParseGKGFields(fields); err == nil {
+		t.Fatal("empty record id accepted")
+	}
+	fields = SplitTabs(row, nil)
+	fields[GkgColTone] = []byte("abc,0")
+	if _, err := ParseGKGFields(fields); err == nil {
+		t.Fatal("bad tone accepted")
+	}
+}
+
+func TestSplitSemis(t *testing.T) {
+	if got := splitSemis(nil); got != nil {
+		t.Fatal("nil input")
+	}
+	if got := splitSemis([]byte(";;")); got != nil {
+		t.Fatalf("empties: %v", got)
+	}
+	got := splitSemis([]byte("A;;B;"))
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("split %v", got)
+	}
+}

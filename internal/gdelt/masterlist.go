@@ -1,0 +1,130 @@
+package gdelt
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MasterEntry is one line of the GDELT master file list: the size, checksum
+// and location of one 15-minute export file.
+type MasterEntry struct {
+	Size     int64
+	Checksum string // hex CRC-32 of the file contents
+	Path     string // e.g. "20150218230000.export.csv"
+}
+
+// Kind reports which table the entry belongs to: "export" (Events),
+// "mentions", "gkg" (Global Knowledge Graph), or "" when the filename does
+// not follow the convention.
+func (e MasterEntry) Kind() string {
+	switch {
+	case strings.HasSuffix(e.Path, ".export.csv"):
+		return "export"
+	case strings.HasSuffix(e.Path, ".mentions.csv"):
+		return "mentions"
+	case strings.HasSuffix(e.Path, ".gkg.csv"):
+		return "gkg"
+	}
+	return ""
+}
+
+// Interval parses the capture-interval timestamp out of the entry filename.
+func (e MasterEntry) Interval() (Timestamp, error) {
+	base := e.Path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	dot := strings.IndexByte(base, '.')
+	if dot < 0 {
+		return 0, fmt.Errorf("gdelt: master entry %q has no timestamp", e.Path)
+	}
+	return ParseTimestamp(base[:dot])
+}
+
+// FormatMasterEntry renders the canonical "size checksum path" line.
+func FormatMasterEntry(e MasterEntry) string {
+	return fmt.Sprintf("%d %s %s", e.Size, e.Checksum, e.Path)
+}
+
+// ParseMasterEntry parses one master list line. Malformed lines are the
+// first defect class of Table II.
+func ParseMasterEntry(line string) (MasterEntry, error) {
+	parts := strings.Fields(line)
+	if len(parts) != 3 {
+		return MasterEntry{}, fmt.Errorf("gdelt: master entry %q: want 3 fields, have %d", line, len(parts))
+	}
+	size, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil || size < 0 {
+		return MasterEntry{}, fmt.Errorf("gdelt: master entry %q: bad size", line)
+	}
+	if len(parts[1]) != 8 {
+		return MasterEntry{}, fmt.Errorf("gdelt: master entry %q: bad checksum", line)
+	}
+	if _, err := strconv.ParseUint(parts[1], 16, 32); err != nil {
+		return MasterEntry{}, fmt.Errorf("gdelt: master entry %q: bad checksum", line)
+	}
+	e := MasterEntry{Size: size, Checksum: parts[1], Path: parts[2]}
+	if e.Kind() == "" {
+		return MasterEntry{}, fmt.Errorf("gdelt: master entry %q: unknown file kind", line)
+	}
+	return e, nil
+}
+
+// MasterList is a parsed master file list together with the lines that
+// failed to parse.
+type MasterList struct {
+	Entries   []MasterEntry
+	Malformed []string // raw lines that did not parse (Table II row 1)
+}
+
+// ReadMasterList parses a master file list stream. Parse failures do not
+// abort the read; they are collected in Malformed, mirroring the paper's
+// tolerance for the 53 malformed entries it found.
+func ReadMasterList(r io.Reader) (*MasterList, error) {
+	ml := &MasterList{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		e, err := ParseMasterEntry(line)
+		if err != nil {
+			ml.Malformed = append(ml.Malformed, line)
+			continue
+		}
+		ml.Entries = append(ml.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gdelt: reading master list: %w", err)
+	}
+	return ml, nil
+}
+
+// WriteMasterList renders entries (and raw malformed lines, if any, in their
+// original form) to w.
+func WriteMasterList(w io.Writer, ml *MasterList) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range ml.Entries {
+		if _, err := fmt.Fprintln(bw, FormatMasterEntry(e)); err != nil {
+			return err
+		}
+	}
+	for _, line := range ml.Malformed {
+		if _, err := fmt.Fprintln(bw, line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Checksum32 returns the hex CRC-32 (IEEE) of data, the checksum the master
+// list carries.
+func Checksum32(data []byte) string {
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(data))
+}

@@ -1,0 +1,115 @@
+package gdelt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseMasterEntry(t *testing.T) {
+	e, err := ParseMasterEntry("12345 0a1b2c3d 20150218230000.export.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size != 12345 || e.Checksum != "0a1b2c3d" || e.Kind() != "export" {
+		t.Fatalf("entry %+v", e)
+	}
+	iv, err := e.Interval()
+	if err != nil || iv != 20150218230000 {
+		t.Fatalf("interval %v %v", iv, err)
+	}
+
+	e, err = ParseMasterEntry("1 ffffffff data/20150218230000.mentions.csv")
+	if err != nil || e.Kind() != "mentions" {
+		t.Fatalf("mentions entry: %v %+v", err, e)
+	}
+	if iv, err := e.Interval(); err != nil || iv != 20150218230000 {
+		t.Fatalf("interval with dir: %v %v", iv, err)
+	}
+}
+
+func TestParseMasterEntryMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"only two fields",
+		"notanumber 0a1b2c3d x.export.csv",
+		"-5 0a1b2c3d x.export.csv",
+		"10 shortsum x.export.csv",
+		"10 zzzzzzzz x.export.csv",
+		"10 0a1b2c3d x.unknown.bin",
+		"10 0a1b2c3d x.export.csv extra",
+	}
+	for _, line := range bad {
+		if _, err := ParseMasterEntry(line); err == nil {
+			t.Fatalf("line %q should fail", line)
+		}
+	}
+}
+
+func TestMasterEntryIntervalErrors(t *testing.T) {
+	e := MasterEntry{Path: "noext"}
+	if _, err := e.Interval(); err == nil {
+		t.Fatal("no-dot path should fail")
+	}
+	e = MasterEntry{Path: "badtime.export.csv"}
+	if _, err := e.Interval(); err == nil {
+		t.Fatal("bad timestamp should fail")
+	}
+}
+
+func TestReadMasterListCollectsMalformed(t *testing.T) {
+	input := strings.Join([]string{
+		"100 0a1b2c3d 20150218000000.export.csv",
+		"200 0a1b2c3e 20150218000000.mentions.csv",
+		"this line is broken",
+		"",
+		"300 0a1b2c3f 20150218001500.export.csv",
+	}, "\n")
+	ml, err := ReadMasterList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ml.Entries) != 3 {
+		t.Fatalf("entries %d", len(ml.Entries))
+	}
+	if len(ml.Malformed) != 1 || ml.Malformed[0] != "this line is broken" {
+		t.Fatalf("malformed %v", ml.Malformed)
+	}
+}
+
+func TestWriteMasterListRoundTrip(t *testing.T) {
+	ml := &MasterList{
+		Entries: []MasterEntry{
+			{Size: 100, Checksum: "0a1b2c3d", Path: "20150218000000.export.csv"},
+			{Size: 200, Checksum: "00000001", Path: "20150218000000.mentions.csv"},
+		},
+		Malformed: []string{"garbage line"},
+	}
+	var buf bytes.Buffer
+	if err := WriteMasterList(&buf, ml); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMasterList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || len(got.Malformed) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Entries[0] != ml.Entries[0] || got.Entries[1] != ml.Entries[1] {
+		t.Fatalf("entries differ: %+v", got.Entries)
+	}
+}
+
+func TestChecksum32(t *testing.T) {
+	c := Checksum32([]byte("hello"))
+	if len(c) != 8 {
+		t.Fatalf("checksum %q", c)
+	}
+	if c == Checksum32([]byte("world")) {
+		t.Fatal("different payloads should differ")
+	}
+	if c != Checksum32([]byte("hello")) {
+		t.Fatal("checksum not deterministic")
+	}
+}

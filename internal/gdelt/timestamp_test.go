@@ -1,0 +1,132 @@
+package gdelt
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimestampComponents(t *testing.T) {
+	ts := Timestamp(20160612233045)
+	if ts.Year() != 2016 || ts.Month() != 6 || ts.Day() != 12 ||
+		ts.Hour() != 23 || ts.Minute() != 30 || ts.Second() != 45 {
+		t.Fatalf("components of %d wrong", ts)
+	}
+	if ts.YYYYMMDD() != 20160612 {
+		t.Fatalf("yyyymmdd %d", ts.YYYYMMDD())
+	}
+}
+
+func TestMakeTimestampRoundTrip(t *testing.T) {
+	ts := MakeTimestamp(2019, 12, 31, 23, 45, 0)
+	if ts != 20191231234500 {
+		t.Fatalf("make %d", ts)
+	}
+	if got := TimestampFromTime(ts.Time()); got != ts {
+		t.Fatalf("round trip %d -> %d", ts, got)
+	}
+}
+
+func TestTimestampValid(t *testing.T) {
+	valid := []Timestamp{20150218000000, 20191231235959, EpochTimestamp}
+	for _, ts := range valid {
+		if !ts.Valid() {
+			t.Fatalf("%d should be valid", ts)
+		}
+	}
+	invalid := []Timestamp{0, -1, 20150232000000, 20151301000000, 20150218240000,
+		20150218006100, 19000101000000, 20150230120000}
+	for _, ts := range invalid {
+		if ts.Valid() {
+			t.Fatalf("%d should be invalid", ts)
+		}
+	}
+}
+
+func TestIntervalIndex(t *testing.T) {
+	if got := EpochTimestamp.IntervalIndex(); got != 0 {
+		t.Fatalf("epoch interval %d", got)
+	}
+	if got := Timestamp(20150218001500).IntervalIndex(); got != 1 {
+		t.Fatalf("00:15 interval %d", got)
+	}
+	if got := Timestamp(20150218001459).IntervalIndex(); got != 0 {
+		t.Fatalf("00:14:59 interval %d", got)
+	}
+	if got := Timestamp(20150219000000).IntervalIndex(); got != IntervalsPerDay {
+		t.Fatalf("next day interval %d want %d", got, IntervalsPerDay)
+	}
+	// Before epoch is negative.
+	if got := Timestamp(20150217234500).IntervalIndex(); got != -1 {
+		t.Fatalf("pre-epoch interval %d want -1", got)
+	}
+}
+
+func TestIntervalStartRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		idx := int64(raw % 170000) // within the archive span
+		ts := IntervalStart(idx)
+		return ts.IntervalIndex() == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalConstants(t *testing.T) {
+	if IntervalsPerDay != 96 {
+		t.Fatalf("IntervalsPerDay %d", IntervalsPerDay)
+	}
+	if IntervalsPerYear != 35040 {
+		t.Fatalf("IntervalsPerYear %d", IntervalsPerYear)
+	}
+}
+
+func TestParseTimestamp(t *testing.T) {
+	ts, err := ParseTimestamp("20150218230000")
+	if err != nil || ts != 20150218230000 {
+		t.Fatalf("parse: %v %d", err, ts)
+	}
+	for _, bad := range []string{"", "2015", "2015021823000x", "201502182300001"} {
+		if _, err := ParseTimestamp(bad); err == nil {
+			t.Fatalf("parse %q should fail", bad)
+		}
+	}
+}
+
+func TestTimestampString(t *testing.T) {
+	if s := Timestamp(20150218000000).String(); s != "20150218000000" {
+		t.Fatalf("string %q", s)
+	}
+	// Padded to 14 digits even for (invalid) small values.
+	if s := Timestamp(5).String(); s != "00000000000005" {
+		t.Fatalf("string %q", s)
+	}
+}
+
+func TestEpochAgreement(t *testing.T) {
+	if !Epoch.Equal(time.Date(2015, 2, 18, 0, 0, 0, 0, time.UTC)) {
+		t.Fatal("epoch mismatch")
+	}
+	if TimestampFromTime(Epoch) != EpochTimestamp {
+		t.Fatal("EpochTimestamp mismatch")
+	}
+}
+
+func TestMentionDelay(t *testing.T) {
+	mn := Mention{
+		EventTime:   20150218000000,
+		MentionTime: 20150218000000,
+	}
+	if d := mn.Delay(); d != 1 {
+		t.Fatalf("same-interval delay %d want 1", d)
+	}
+	mn.MentionTime = 20150218040000 // 16 intervals later
+	if d := mn.Delay(); d != 17 {
+		t.Fatalf("4h delay %d want 17", d)
+	}
+	mn.MentionTime = 20150217000000 // before the event: defect, clamps
+	if d := mn.Delay(); d != 0 {
+		t.Fatalf("negative delay %d want 0", d)
+	}
+}

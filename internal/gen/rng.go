@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// splitmix64 advances a splitmix64 state and returns the next value. It is
+// used to derive independent, reproducible per-day substream seeds from the
+// corpus master seed, so generation order never changes results.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// subSeed derives a reproducible sub-seed from a master seed and a stream
+// label (e.g. a day index).
+func subSeed(master int64, stream uint64) int64 {
+	s := uint64(master) ^ (stream+1)*0x9e3779b97f4a7c15
+	return int64(splitmix64(&s))
+}
+
+// poisson samples a Poisson(lambda) variate. For small lambda it uses
+// Knuth's product method; for large lambda the PTRS-free normal
+// approximation with continuity correction, which is accurate enough for
+// event arrival counts.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	k := int(math.Floor(lambda + math.Sqrt(lambda)*rng.NormFloat64() + 0.5))
+	if k < 0 {
+		return 0
+	}
+	return k
+}
+
+// paretoInt samples a discrete truncated power-law variate in [1, max]:
+// P(X = k) ~ k^(-alpha), via inverse transform on the continuous Pareto
+// followed by flooring and rejection of values beyond max. alpha must
+// exceed 1.
+func paretoInt(rng *rand.Rand, alpha float64, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	for {
+		u := rng.Float64()
+		x := math.Pow(1-u, -1/(alpha-1))
+		if x < float64(max)+1 {
+			k := int(x)
+			if k < 1 {
+				k = 1
+			}
+			return k
+		}
+		// Reject the overflow tail (rare for alpha > 2) to keep the
+		// truncated distribution's shape instead of piling mass at max.
+	}
+}
+
+// logNormalClamped samples exp(N(mu, sigma²)) clamped into [lo, hi]. The
+// clamp concentrates overflow mass at hi, which deliberately produces the
+// "news cycle cap" spikes of Figure 9 (maximum delays clustering at 24
+// hours, a week, a month).
+func logNormalClamped(rng *rand.Rand, mu, sigma, lo, hi float64) float64 {
+	x := math.Exp(mu + sigma*rng.NormFloat64())
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// logUniform samples uniformly in log space over [lo, hi], lo > 0.
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+}
+
+// aliasTable implements Walker's alias method for O(1) weighted sampling
+// from a fixed discrete distribution.
+type aliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// newAliasTable builds an alias table for the given non-negative weights.
+// A table over all-zero or empty weights returns nil.
+func newAliasTable(weights []float64) *aliasTable {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("gen: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil
+	}
+	t := &aliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = int32(i)
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+		t.alias[i] = int32(i)
+	}
+	return t
+}
+
+// sample draws one index from the table.
+func (t *aliasTable) sample(rng *rand.Rand) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}

@@ -1,0 +1,294 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gdeltmine/internal/gdelt"
+)
+
+// Source is one synthetic news outlet.
+type Source struct {
+	// Name is the source domain, e.g. "heraldcourier4.co.uk".
+	Name string
+	// Country indexes gdelt.Countries.
+	Country int16
+	// Weight is the productivity weight driving article-assignment draws.
+	Weight float64
+	// Group is the media-group id, or -1 for independents.
+	Group int16
+	// StartQ and EndQ bound the source's active quarters (inclusive,
+	// relative to the archive's first quarter).
+	StartQ, EndQ int16
+	// Speed classifies the delay profile.
+	Speed SpeedClass
+	// CycleCap is the news-cycle cap on delays, in 15-minute intervals:
+	// 96 (a day), 672 (a week), 2880 (a month) or 35040 (a year).
+	CycleCap int32
+}
+
+// World is the sampled news landscape: the fixed cast of sources plus the
+// per-event-country sampling tables used to assign articles to sources.
+type World struct {
+	Cfg     Config
+	Sources []Source
+
+	// eventCountry samples the country of a new event; index
+	// len(gdelt.Countries) means "untagged".
+	eventCountry *aliasTable
+	// sourceByCountry[c] samples a reporting source for an event in country
+	// c (last entry: untagged events).
+	sourceByCountry []*aliasTable
+	// groupMembers lists source indexes per media group.
+	groupMembers [][]int32
+	quarters     int
+	days         int
+}
+
+// Country event-frequency weights (events recorded per country) and
+// international-interest multipliers (how strongly foreign press reports on
+// events there). Tuned so the reported-country ordering follows Table VI
+// (events: US, UK, India, China, Australia, Canada, Nigeria, Russia, Israel,
+// Pakistan) while article volumes give Russia and Israel more foreign pull
+// than their event counts alone would.
+var (
+	eventWeightByFIPS = map[string]float64{
+		"US": 0.400, "UK": 0.055, "IN": 0.040, "CH": 0.036, "AS": 0.033,
+		"CA": 0.030, "NI": 0.028, "RS": 0.026, "IS": 0.024, "PK": 0.022,
+	}
+	defaultEventWeight = 0.0052 // the ~50 remaining countries share the rest
+	interestByFIPS     = map[string]float64{
+		"US": 1.00, "UK": 0.95, "IN": 0.70, "CH": 0.70, "AS": 0.85,
+		"CA": 0.80, "NI": 0.50, "RS": 1.20, "IS": 1.10, "PK": 0.60,
+	}
+	defaultInterest = 0.45
+	// sameCountryBoost is the mild home bias visible in Table VII (e.g.
+	// Australian press over-reports Australia by roughly 2x).
+	sameCountryBoost = 2.0
+)
+
+// Source-population weights per country: the share of the world's outlets
+// hosted under each TLD, tuned so publishing-country article volumes order
+// as in Table VI's columns (UK, USA, Australia, India, Italy, Canada, South
+// Africa, Nigeria, Bangladesh, Philippines).
+var sourceCountryWeights = map[string]float64{
+	"UK": 0.26, "US": 0.24, "AS": 0.13, "IN": 0.07, "IT": 0.035,
+	"CA": 0.032, "SF": 0.026, "NI": 0.020, "BG": 0.016, "RP": 0.012,
+}
+
+const defaultSourceCountryWeight = 0.003
+
+var sourceNameWords = []string{
+	"herald", "courier", "gazette", "echo", "times", "post", "tribune",
+	"observer", "chronicle", "argus", "express", "journal", "standard",
+	"mercury", "sentinel", "record", "press", "globe", "mail", "star",
+	"daily", "evening", "morning", "county", "metro", "citizen", "leader",
+	"advertiser", "bulletin", "telegraph", "examiner", "register", "voice",
+}
+
+// NewWorld samples the fixed world (sources and sampling tables) for a
+// configuration.
+func NewWorld(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{Cfg: cfg, quarters: cfg.Quarters(), days: cfg.Days()}
+	rng := rand.New(rand.NewSource(subSeed(cfg.Seed, 0xA0)))
+	w.buildSources(rng)
+	w.buildAliasTables()
+	return w, nil
+}
+
+// Quarters returns the number of quarters covered by the world.
+func (w *World) Quarters() int { return w.quarters }
+
+// Days returns the number of days covered by the world.
+func (w *World) Days() int { return w.days }
+
+// GroupMembers returns the source indexes of media group g.
+func (w *World) GroupMembers(g int) []int32 { return w.groupMembers[g] }
+
+func (w *World) buildSources(rng *rand.Rand) {
+	cfg := w.Cfg
+	w.Sources = make([]Source, cfg.Sources)
+
+	// Country assignment for sources. Major outlets (the top productivity
+	// decile) are drawn from the ten big publishing countries only, so the
+	// publishing-country volume ordering (Table VI's columns) is stable
+	// even at small world sizes; the long tail spreads over all countries.
+	countryWeights := make([]float64, len(gdelt.Countries))
+	majorWeights := make([]float64, len(gdelt.Countries))
+	for i, c := range gdelt.Countries {
+		if wgt, ok := sourceCountryWeights[c.FIPS]; ok {
+			countryWeights[i] = wgt
+			majorWeights[i] = wgt
+		} else {
+			countryWeights[i] = defaultSourceCountryWeight
+		}
+	}
+	countryPick := newAliasTable(countryWeights)
+	majorPick := newAliasTable(majorWeights)
+
+	ukIdx := int16(gdelt.CountryIndex("UK"))
+	for i := range w.Sources {
+		s := &w.Sources[i]
+		s.Group = -1
+		if i < cfg.MediaGroupSize {
+			// The co-owned regional group: British, hyper-productive,
+			// active over the whole archive, average speed. These become
+			// the paper's top-10 publishers.
+			s.Country = ukIdx
+			s.Group = 0
+			s.StartQ, s.EndQ = 0, int16(w.quarters-1)
+			s.Speed = SpeedAverage
+			s.CycleCap = gdelt.IntervalsPerDay
+			// Zipf head with mild decay so the group members have similar,
+			// dominant-but-not-overwhelming volumes; the spread matches the
+			// ~3x range across the top publishers in Figure 6, and the tail
+			// members overlap the biggest independents so the top-10 ends
+			// up mostly — not entirely — group-owned, as in the paper.
+			s.Weight = 11 / math.Pow(float64(i+1), 0.25)
+		} else {
+			if i < cfg.MediaGroupSize+cfg.Sources/10 {
+				s.Country = int16(majorPick.sample(rng))
+			} else {
+				s.Country = int16(countryPick.sample(rng))
+			}
+			// Flat-ish Zipf productivity over rank: the news sphere has a
+			// long, heavy tail of modest outlets.
+			rank := float64(i-cfg.MediaGroupSize) + 2
+			s.Weight = 10 / math.Pow(rank, 0.65)
+			// Major independents (the top decile by rank) persist over the
+			// whole archive, like real national outlets. The long tail has
+			// windows of mean ~7 of 20 quarters, so about a third of all
+			// sources are active at any time (Figure 3). Tail windows may
+			// notionally begin before the archive or end after it, which
+			// keeps the per-quarter active count flat instead of ramping at
+			// the boundaries.
+			if i < cfg.MediaGroupSize+cfg.Sources/10 {
+				s.StartQ, s.EndQ = 0, int16(w.quarters-1)
+			} else {
+				length := 4 + rng.Intn(7)
+				start := rng.Intn(w.quarters+length-1) - (length - 1)
+				end := start + length - 1
+				if start < 0 {
+					start = 0
+				}
+				if end > w.quarters-1 {
+					end = w.quarters - 1
+				}
+				s.StartQ, s.EndQ = int16(start), int16(end)
+			}
+			s.Speed, s.CycleCap = sampleSpeed(rng)
+			// High-volume outlets are dailies: a weekly, monthly or archive
+			// publication cannot plausibly sit among the top publishers
+			// (the paper's entire Table VIII is in the 24h-cycle group).
+			if i < cfg.MediaGroupSize+cfg.Sources/10 && s.Speed != SpeedFast {
+				s.Speed, s.CycleCap = SpeedAverage, gdelt.IntervalsPerDay
+			}
+		}
+		s.Name = sourceName(rng, i, gdelt.Countries[s.Country].TLD)
+	}
+	w.groupMembers = make([][]int32, 1)
+	for i := 0; i < cfg.MediaGroupSize; i++ {
+		w.groupMembers[0] = append(w.groupMembers[0], int32(i))
+	}
+}
+
+// sampleSpeed draws a speed class and its news-cycle cap. Fractions follow
+// Section VI-E: a fast core (~12%), the big 24-hour-cycle average group
+// (~55%), a large slow group split across week/month cycles (~31%), and a
+// sliver of archive republishers (~2%) providing the min-delay outliers.
+func sampleSpeed(rng *rand.Rand) (SpeedClass, int32) {
+	u := rng.Float64()
+	switch {
+	case u < 0.12:
+		return SpeedFast, gdelt.IntervalsPerDay
+	case u < 0.67:
+		return SpeedAverage, gdelt.IntervalsPerDay
+	case u < 0.85:
+		return SpeedSlow, 7 * gdelt.IntervalsPerDay // weekly format
+	case u < 0.98:
+		return SpeedSlow, 30 * gdelt.IntervalsPerDay // monthly format
+	default:
+		return SpeedArchive, gdelt.IntervalsPerYear
+	}
+}
+
+func sourceName(rng *rand.Rand, i int, tld string) string {
+	a := sourceNameWords[rng.Intn(len(sourceNameWords))]
+	b := sourceNameWords[rng.Intn(len(sourceNameWords))]
+	for b == a {
+		b = sourceNameWords[rng.Intn(len(sourceNameWords))]
+	}
+	return fmt.Sprintf("%s%s%d.%s", a, b, i, tld)
+}
+
+// buildAliasTables precomputes the event-country distribution and, for each
+// possible event country, the source-selection distribution with interest
+// and home-bias baked in.
+func (w *World) buildAliasTables() {
+	nc := len(gdelt.Countries)
+	evw := make([]float64, nc+1)
+	var tagged float64
+	for i, c := range gdelt.Countries {
+		wgt, ok := eventWeightByFIPS[c.FIPS]
+		if !ok {
+			wgt = defaultEventWeight
+		}
+		evw[i] = wgt
+		tagged += wgt
+	}
+	// Untagged events are a fixed fraction of the total.
+	evw[nc] = tagged * w.Cfg.UntaggedFraction / (1 - w.Cfg.UntaggedFraction)
+	w.eventCountry = newAliasTable(evw)
+
+	w.sourceByCountry = make([]*aliasTable, nc+1)
+	weights := make([]float64, len(w.Sources))
+	for ec := 0; ec <= nc; ec++ {
+		interest := defaultInterest
+		if ec < nc {
+			if v, ok := interestByFIPS[gdelt.Countries[ec].FIPS]; ok {
+				interest = v
+			}
+		} else {
+			interest = 1 // untagged events: pure productivity
+		}
+		for i := range w.Sources {
+			wgt := w.Sources[i].Weight * interest
+			// Home bias applies everywhere except the US: Table VII shows
+			// the US share of reporting nearly flat across publishing
+			// countries (40.99% for US outlets vs ~39% elsewhere), while
+			// smaller countries over-report themselves by about 2x.
+			if ec < nc && int(w.Sources[i].Country) == ec && gdelt.Countries[ec].FIPS != "US" {
+				wgt *= sameCountryBoost
+			}
+			weights[i] = wgt
+		}
+		w.sourceByCountry[ec] = newAliasTable(weights)
+	}
+}
+
+// quarterOfDay maps a day offset to a quarter index relative to the archive
+// start.
+func (w *World) quarterOfDay(day int) int {
+	ts := gdelt.TimestampFromTime(w.Cfg.Start.Time().AddDate(0, 0, day))
+	return quarterIndexOf(ts) - quarterIndexOf(w.Cfg.Start)
+}
+
+// activeAt reports whether source s is active in quarter q.
+func (s *Source) activeAt(q int) bool {
+	return int(s.StartQ) <= q && q <= int(s.EndQ)
+}
+
+// ActiveSources returns the number of sources active in quarter q.
+func (w *World) ActiveSources(q int) int {
+	n := 0
+	for i := range w.Sources {
+		if w.Sources[i].activeAt(q) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,194 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gdeltmine/internal/gdelt"
+)
+
+// WriteResult summarizes a raw dataset written to disk.
+type WriteResult struct {
+	// Dir is the dataset directory.
+	Dir string
+	// MasterPath is the master file list path.
+	MasterPath string
+	// Chunks is the number of file-pair chunks covered by the master list.
+	Chunks int
+	// FilesPerChunk is 2 (export + mentions) or 3 when GKG is enabled.
+	FilesPerChunk int
+	// FilesWritten counts chunk files actually written.
+	FilesWritten int
+	// MissingFiles lists chunk files listed in the master but deliberately
+	// not written (the Table II missing-archive defect).
+	MissingFiles []string
+	// MalformedLines is the number of injected malformed master lines.
+	MalformedLines int
+	// Bytes is the total size of written chunk files.
+	Bytes int64
+}
+
+// MasterFileName is the name of the master file list within a dataset
+// directory.
+const MasterFileName = "masterfilelist.txt"
+
+// InfoFileName is the name of the dataset metadata sidecar: two lines,
+// "start <YYYYMMDDHHMMSS>" and "intervals <count>". Real GDELT has no such
+// file — the converter falls back to inferring the span from the master
+// list when it is absent — but carrying the exact span avoids padding the
+// archive out to the last chunk boundary.
+const InfoFileName = "dataset.info"
+
+// WriteRaw writes the corpus as a raw GDELT dataset under dir: one
+// Events/Mentions file pair per IntervalsPerFile capture intervals, plus the
+// master file list. The configured defects are injected: malformed master
+// lines, and master entries whose files are withheld.
+func WriteRaw(c *Corpus, dir string) (*WriteResult, error) {
+	cfg := c.World.Cfg
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("gen: creating dataset dir: %w", err)
+	}
+	res := &WriteResult{Dir: dir, MasterPath: filepath.Join(dir, MasterFileName)}
+
+	totalIntervals := c.World.Days() * gdelt.IntervalsPerDay
+	chunkIntervals := cfg.IntervalsPerFile
+	numChunks := (totalIntervals + chunkIntervals - 1) / chunkIntervals
+	res.Chunks = numChunks
+	res.FilesPerChunk = 2
+	if cfg.GKG {
+		res.FilesPerChunk = 3
+	}
+
+	// Events are placed in the chunk of their first mention (their
+	// DateAdded), mirroring how GDELT publishes an event when first seen.
+	evOrder := make([]int32, len(c.Events))
+	for i := range evOrder {
+		evOrder[i] = int32(i)
+	}
+	sort.Slice(evOrder, func(a, b int) bool {
+		return c.Events[evOrder[a]].FirstMention < c.Events[evOrder[b]].FirstMention
+	})
+
+	// Choose which master-listed files to withhold.
+	missing := pickMissingFiles(cfg, numChunks)
+
+	ml := &gdelt.MasterList{}
+	var evPos, mnPos int
+	var rowBuf []byte
+	for chunk := 0; chunk < numChunks; chunk++ {
+		chunkStart := int32(chunk * chunkIntervals)
+		chunkEnd := int32((chunk + 1) * chunkIntervals) // exclusive
+		ts := c.IntervalTimestamp(chunkStart)
+
+		// Collect event rows for this chunk.
+		var evData []byte
+		for evPos < len(evOrder) && c.Events[evOrder[evPos]].FirstMention < chunkEnd {
+			rowBuf = rowBuf[:0]
+			rec := c.EventRecord(int(evOrder[evPos]))
+			rowBuf = gdelt.AppendEventRow(rowBuf, &rec)
+			evData = append(evData, rowBuf...)
+			evData = append(evData, '\n')
+			evPos++
+		}
+		var mnData, gkgData []byte
+		mnStart := mnPos
+		for mnPos < len(c.Mentions) && c.Mentions[mnPos].Interval < chunkEnd {
+			rowBuf = rowBuf[:0]
+			rec := c.MentionRecord(mnPos)
+			rowBuf = gdelt.AppendMentionRow(rowBuf, &rec)
+			mnData = append(mnData, rowBuf...)
+			mnData = append(mnData, '\n')
+			mnPos++
+		}
+		parts := []struct {
+			kind string
+			data []byte
+		}{{"export", evData}, {"mentions", mnData}}
+		if cfg.GKG {
+			for j := mnStart; j < mnPos; j++ {
+				rowBuf = rowBuf[:0]
+				rec := c.GKGRecord(j)
+				rowBuf = gdelt.AppendGKGRow(rowBuf, &rec)
+				gkgData = append(gkgData, rowBuf...)
+				gkgData = append(gkgData, '\n')
+			}
+			parts = append(parts, struct {
+				kind string
+				data []byte
+			}{"gkg", gkgData})
+		}
+
+		for _, part := range parts {
+			name := fmt.Sprintf("%s.%s.csv", ts, part.kind)
+			ml.Entries = append(ml.Entries, gdelt.MasterEntry{
+				Size:     int64(len(part.data)),
+				Checksum: gdelt.Checksum32(part.data),
+				Path:     name,
+			})
+			if missing[name] {
+				res.MissingFiles = append(res.MissingFiles, name)
+				continue
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), part.data, 0o644); err != nil {
+				return nil, fmt.Errorf("gen: writing chunk %s: %w", name, err)
+			}
+			res.FilesWritten++
+			res.Bytes += int64(len(part.data))
+		}
+	}
+
+	// Malformed master lines, interleaved deterministically.
+	for i := 0; i < cfg.DefectMalformedMaster; i++ {
+		ml.Malformed = append(ml.Malformed, fmt.Sprintf("corrupt entry %d without proper fields", i))
+	}
+	res.MalformedLines = len(ml.Malformed)
+
+	info := fmt.Sprintf("start %s\nintervals %d\n", gdelt.Timestamp(cfg.Start), totalIntervals)
+	if err := os.WriteFile(filepath.Join(dir, InfoFileName), []byte(info), 0o644); err != nil {
+		return nil, fmt.Errorf("gen: writing dataset info: %w", err)
+	}
+
+	f, err := os.Create(res.MasterPath)
+	if err != nil {
+		return nil, fmt.Errorf("gen: creating master list: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := gdelt.WriteMasterList(w, ml); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("gen: writing master list: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// pickMissingFiles chooses the chunk files to withhold, spread over the
+// archive, alternating between export and mentions files.
+func pickMissingFiles(cfg Config, numChunks int) map[string]bool {
+	missing := make(map[string]bool, cfg.DefectMissingArchives)
+	if cfg.DefectMissingArchives == 0 || numChunks == 0 {
+		return missing
+	}
+	rng := rand.New(rand.NewSource(subSeed(cfg.Seed, 0xF11E)))
+	chunkIntervals := cfg.IntervalsPerFile
+	start := gdelt.Timestamp(cfg.Start).IntervalIndex()
+	for len(missing) < cfg.DefectMissingArchives {
+		chunk := rng.Intn(numChunks)
+		ts := gdelt.IntervalStart(start + int64(chunk*chunkIntervals))
+		kind := "export"
+		if rng.Intn(2) == 0 {
+			kind = "mentions"
+		}
+		missing[fmt.Sprintf("%s.%s.csv", ts, kind)] = true
+	}
+	return missing
+}

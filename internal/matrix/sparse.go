@@ -1,0 +1,169 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row float64 matrix. Column indexes within each
+// row are strictly increasing.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64 // len Rows+1
+	ColIdx     []int32
+	Vals       []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Vals) }
+
+// At returns element (i, j) by binary search within row i.
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	idx := m.ColIdx[lo:hi]
+	k := sort.Search(len(idx), func(k int) bool { return idx[k] >= int32(j) })
+	if k < len(idx) && idx[k] == int32(j) {
+		return m.Vals[lo+int64(k)]
+	}
+	return 0
+}
+
+// RowNNZ returns the column indexes and values of row i, aliasing storage.
+func (m *CSR) RowNNZ(i int) ([]int32, []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Vals[lo:hi]
+}
+
+// ToDense expands the matrix.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.RowNNZ(i)
+		row := d.Row(i)
+		for k, c := range cols {
+			row[c] = vals[k]
+		}
+	}
+	return d
+}
+
+// FromDense compresses d, keeping elements with |v| > threshold.
+func FromDense(d *Dense, threshold float64) *CSR {
+	m := &CSR{Rows: d.Rows, Cols: d.Cols, RowPtr: make([]int64, d.Rows+1)}
+	for i := 0; i < d.Rows; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if v > threshold || v < -threshold {
+				m.ColIdx = append(m.ColIdx, int32(j))
+				m.Vals = append(m.Vals, v)
+			}
+		}
+		m.RowPtr[i+1] = int64(len(m.Vals))
+	}
+	return m
+}
+
+// COO is a coordinate-format builder for sparse matrices. Duplicate
+// coordinates are summed when converting to CSR.
+type COO struct {
+	Rows, Cols int
+	is, js     []int32
+	vs         []float64
+}
+
+// NewCOO returns an empty builder for a rows×cols matrix.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Add records v at (i, j).
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("matrix: COO index (%d,%d) out of %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.is = append(c.is, int32(i))
+	c.js = append(c.js, int32(j))
+	c.vs = append(c.vs, v)
+}
+
+// Len returns the number of recorded entries (before duplicate folding).
+func (c *COO) Len() int { return len(c.vs) }
+
+// ToCSR sorts and deduplicates the entries into a CSR matrix.
+func (c *COO) ToCSR() *CSR {
+	order := make([]int, len(c.vs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		oa, ob := order[a], order[b]
+		if c.is[oa] != c.is[ob] {
+			return c.is[oa] < c.is[ob]
+		}
+		return c.js[oa] < c.js[ob]
+	})
+	m := &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: make([]int64, c.Rows+1)}
+	prevI, prevJ := int32(-1), int32(-1)
+	for _, o := range order {
+		i, j, v := c.is[o], c.js[o], c.vs[o]
+		if i == prevI && j == prevJ {
+			m.Vals[len(m.Vals)-1] += v
+			continue
+		}
+		m.ColIdx = append(m.ColIdx, j)
+		m.Vals = append(m.Vals, v)
+		prevI, prevJ = i, j
+		m.RowPtr[i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// AssembleCSR sums sparse matrices of identical shape into one, the
+// Section VI-B strategy of building a global co-reporting matrix from
+// compressed per-time-span pieces. It merges rows pairwise like a k-way
+// merge over sorted column lists.
+func AssembleCSR(pieces []*CSR) (*CSR, error) {
+	if len(pieces) == 0 {
+		return nil, fmt.Errorf("matrix: assembling zero pieces")
+	}
+	rows, cols := pieces[0].Rows, pieces[0].Cols
+	for _, p := range pieces[1:] {
+		if p.Rows != rows || p.Cols != cols {
+			return nil, fmt.Errorf("matrix: assembling %dx%d with %dx%d", rows, cols, p.Rows, p.Cols)
+		}
+	}
+	out := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	// Accumulate row-by-row into a scratch map from column to value; rows in
+	// news matrices are short, so a small map beats a dense scratch vector
+	// of width Cols.
+	scratch := make(map[int32]float64)
+	colBuf := make([]int32, 0, 64)
+	for i := 0; i < rows; i++ {
+		for k := range scratch {
+			delete(scratch, k)
+		}
+		for _, p := range pieces {
+			cis, vs := p.RowNNZ(i)
+			for k, ci := range cis {
+				scratch[ci] += vs[k]
+			}
+		}
+		colBuf = colBuf[:0]
+		for ci := range scratch {
+			colBuf = append(colBuf, ci)
+		}
+		sort.Slice(colBuf, func(a, b int) bool { return colBuf[a] < colBuf[b] })
+		for _, ci := range colBuf {
+			out.ColIdx = append(out.ColIdx, ci)
+			out.Vals = append(out.Vals, scratch[ci])
+		}
+		out.RowPtr[i+1] = int64(len(out.Vals))
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCOOToCSRWithDuplicates(t *testing.T) {
+	c := NewCOO(3, 4)
+	c.Add(0, 1, 1)
+	c.Add(0, 1, 2) // duplicate folds
+	c.Add(2, 0, 5)
+	c.Add(0, 3, 7)
+	if c.Len() != 4 {
+		t.Fatalf("len %d", c.Len())
+	}
+	m := c.ToCSR()
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz %d want 3", m.NNZ())
+	}
+	if m.At(0, 1) != 3 || m.At(0, 3) != 7 || m.At(2, 0) != 5 || m.At(1, 2) != 0 {
+		t.Fatalf("values wrong: %+v", m)
+	}
+	cols, vals := m.RowNNZ(0)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 3 || vals[0] != 3 {
+		t.Fatalf("row 0 nnz: %v %v", cols, vals)
+	}
+	if cols, _ := m.RowNNZ(1); len(cols) != 0 {
+		t.Fatal("row 1 should be empty")
+	}
+}
+
+func TestCOOBoundsPanic(t *testing.T) {
+	c := NewCOO(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Add(2, 0, 1)
+}
+
+func TestDenseSparseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense(20, 30)
+	for k := 0; k < 100; k++ {
+		d.Set(rng.Intn(20), rng.Intn(30), rng.Float64())
+	}
+	s := FromDense(d, 0)
+	back := s.ToDense()
+	for i := range d.Data {
+		if d.Data[i] != back.Data[i] {
+			t.Fatalf("round trip differs at %d: %v vs %v", i, d.Data[i], back.Data[i])
+		}
+	}
+}
+
+func TestFromDenseThreshold(t *testing.T) {
+	d := NewDense(1, 3)
+	d.Set(0, 0, 0.5)
+	d.Set(0, 1, -0.5)
+	d.Set(0, 2, 0.01)
+	s := FromDense(d, 0.1)
+	if s.NNZ() != 2 {
+		t.Fatalf("nnz %d want 2 (threshold keeps both signs)", s.NNZ())
+	}
+}
+
+func TestAssembleCSR(t *testing.T) {
+	a := NewCOO(2, 2)
+	a.Add(0, 0, 1)
+	a.Add(1, 1, 2)
+	b := NewCOO(2, 2)
+	b.Add(0, 0, 3)
+	b.Add(0, 1, 4)
+	sum, err := AssembleCSR([]*CSR{a.ToCSR(), b.ToCSR()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(0, 0) != 4 || sum.At(0, 1) != 4 || sum.At(1, 1) != 2 {
+		t.Fatalf("assembled: %v %v %v", sum.At(0, 0), sum.At(0, 1), sum.At(1, 1))
+	}
+	if sum.NNZ() != 3 {
+		t.Fatalf("nnz %d", sum.NNZ())
+	}
+}
+
+func TestAssembleCSRErrors(t *testing.T) {
+	if _, err := AssembleCSR(nil); err == nil {
+		t.Fatal("empty assembly should fail")
+	}
+	a := NewCOO(2, 2).ToCSR()
+	b := NewCOO(3, 2).ToCSR()
+	if _, err := AssembleCSR([]*CSR{a, b}); err == nil {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+func TestAssembleMatchesDenseSum(t *testing.T) {
+	// Property: assembling random sparse pieces equals summing their dense
+	// expansions — the correctness claim behind the time-sliced strategy.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const rows, cols = 8, 11
+		var pieces []*CSR
+		want := NewDense(rows, cols)
+		for p := 0; p < 4; p++ {
+			c := NewCOO(rows, cols)
+			for k := 0; k < 25; k++ {
+				i, j, v := rng.Intn(rows), rng.Intn(cols), float64(rng.Intn(5))
+				c.Add(i, j, v)
+				want.Add(i, j, v)
+			}
+			pieces = append(pieces, c.ToCSR())
+		}
+		got, err := AssembleCSR(pieces)
+		if err != nil {
+			return false
+		}
+		gd := got.ToDense()
+		for i := range want.Data {
+			if gd.Data[i] != want.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRColumnOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := NewCOO(5, 40)
+	for k := 0; k < 200; k++ {
+		c.Add(rng.Intn(5), rng.Intn(40), 1)
+	}
+	m := c.ToCSR()
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.RowNNZ(i)
+		for k := 1; k < len(cols); k++ {
+			if cols[k] <= cols[k-1] {
+				t.Fatalf("row %d columns not strictly increasing: %v", i, cols)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package mcl
+
+import (
+	"math/rand"
+	"testing"
+
+	"gdeltmine/internal/matrix"
+)
+
+// blockMatrix builds a similarity matrix with two dense blocks and weak
+// background noise.
+func blockMatrix(rng *rand.Rand, n1, n2 int, strong, weak float64) *matrix.Dense {
+	n := n1 + n2
+	m := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := weak * rng.Float64()
+			if (i < n1 && j < n1) || (i >= n1 && j >= n1) {
+				v = strong * (0.5 + rng.Float64())
+			}
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestClusterRecoverTwoBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := blockMatrix(rng, 6, 9, 1.0, 0.01)
+	res, err := Cluster(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters %v", res.Clusters)
+	}
+	// Largest cluster is the 9-block, second the 6-block.
+	if len(res.Clusters[0]) != 9 || len(res.Clusters[1]) != 6 {
+		t.Fatalf("cluster sizes %d %d", len(res.Clusters[0]), len(res.Clusters[1]))
+	}
+	for _, i := range res.Clusters[1] {
+		if i >= 6 {
+			t.Fatalf("block mixing: %v", res.Clusters[1])
+		}
+	}
+}
+
+func TestClusterPartition(t *testing.T) {
+	// Whatever the structure, the clusters must partition the node set.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(20)
+		m := matrix.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					v := rng.Float64()
+					m.Set(i, j, v)
+					m.Set(j, i, v)
+				}
+			}
+		}
+		res, err := Cluster(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, n)
+		for _, cl := range res.Clusters {
+			for _, i := range cl {
+				if seen[i] {
+					t.Fatalf("node %d in two clusters: %v", i, res.Clusters)
+				}
+				seen[i] = true
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("node %d unassigned: %v", i, res.Clusters)
+			}
+		}
+	}
+}
+
+func TestClusterIsolatedNodes(t *testing.T) {
+	m := matrix.NewDense(4, 4) // no edges at all
+	res, err := Cluster(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 4 {
+		t.Fatalf("isolated nodes should be singletons: %v", res.Clusters)
+	}
+}
+
+func TestClusterEmptyAndErrors(t *testing.T) {
+	res, err := Cluster(matrix.NewDense(0, 0), Options{})
+	if err != nil || len(res.Clusters) != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+	if _, err := Cluster(matrix.NewDense(2, 3), Options{}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	bad := matrix.NewDense(2, 2)
+	bad.Set(0, 1, -1)
+	if _, err := Cluster(bad, Options{}); err == nil {
+		t.Fatal("negative similarity accepted")
+	}
+}
+
+func TestInflationGranularity(t *testing.T) {
+	// Higher inflation produces at least as many clusters.
+	rng := rand.New(rand.NewSource(3))
+	m := blockMatrix(rng, 8, 8, 1.0, 0.3)
+	coarse, err := Cluster(m, Options{Inflation: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Cluster(m, Options{Inflation: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fine.Clusters) < len(coarse.Clusters) {
+		t.Fatalf("inflation 6 gave %d clusters, 1.3 gave %d",
+			len(fine.Clusters), len(coarse.Clusters))
+	}
+}
+
+func TestMaxItersBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := blockMatrix(rng, 5, 5, 1, 0.5)
+	res, err := Cluster(m, Options{MaxIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("iterations %d", res.Iterations)
+	}
+}

@@ -1,0 +1,83 @@
+package parallel
+
+import "sync/atomic"
+
+// cursor hands out chunks of an index space to dynamic-scheduling workers.
+// It is padded to its own cache line so the hot Add does not false-share
+// with neighbouring allocations.
+type cursor struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [64]byte
+}
+
+func newCursor() *cursor { return &cursor{} }
+
+// next claims the next chunk of at most grain indices below limit and
+// returns it as [lo, hi). When the space is exhausted it returns lo >= hi.
+func (c *cursor) next(grain, limit int) (lo, hi int) {
+	lo = int(c.v.Add(int64(grain))) - grain
+	if lo >= limit {
+		return limit, limit
+	}
+	hi = lo + grain
+	if hi > limit {
+		hi = limit
+	}
+	return lo, hi
+}
+
+// paddedInt64 is an int64 alone on its cache line.
+type paddedInt64 struct {
+	v int64
+	_ [56]byte
+}
+
+// ShardedCounter is a contention-free counter: each worker increments its own
+// cache-line-padded shard and Value folds the shards. It mirrors the
+// per-thread counters a NUMA-aware OpenMP code would keep per core.
+type ShardedCounter struct {
+	shards []paddedInt64
+}
+
+// NewShardedCounter returns a counter with one shard per worker. workers <= 0
+// means DefaultWorkers().
+func NewShardedCounter(workers int) *ShardedCounter {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &ShardedCounter{shards: make([]paddedInt64, workers)}
+}
+
+// Shards returns the number of shards.
+func (c *ShardedCounter) Shards() int { return len(c.shards) }
+
+// Add adds delta to the given worker's shard. worker must be in
+// [0, Shards()). Each shard must only be written by its owning worker;
+// no atomics are used on the fast path.
+func (c *ShardedCounter) Add(worker int, delta int64) {
+	c.shards[worker].v += delta
+}
+
+// AtomicAdd adds delta to the shard chosen by worker modulo the shard count
+// using an atomic operation, for callers without exclusive shard ownership.
+func (c *ShardedCounter) AtomicAdd(worker int, delta int64) {
+	atomic.AddInt64(&c.shards[worker%len(c.shards)].v, delta)
+}
+
+// Value folds all shards and returns the total. It must only be called after
+// the writing workers have finished (e.g. after a For loop returns).
+func (c *ShardedCounter) Value() int64 {
+	var total int64
+	for i := range c.shards {
+		total += atomic.LoadInt64(&c.shards[i].v)
+	}
+	return total
+}
+
+// Reset zeroes all shards.
+func (c *ShardedCounter) Reset() {
+	for i := range c.shards {
+		atomic.StoreInt64(&c.shards[i].v, 0)
+	}
+}

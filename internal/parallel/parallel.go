@@ -1,0 +1,153 @@
+// Package parallel provides the data-parallel runtime used by the query
+// engine: chunked parallel-for loops with static or dynamic scheduling,
+// map-reduce helpers, and padded sharded accumulators.
+//
+// It plays the role OpenMP plays in the original C++ system: flat
+// data-parallel iteration over row ranges with per-worker partial results
+// that are merged at the end. All primitives are allocation-conscious and
+// safe for repeated use on hot paths.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default degree of parallelism, which is the
+// current GOMAXPROCS setting. It never returns less than 1.
+func DefaultWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// Options configures a parallel loop.
+type Options struct {
+	// Workers is the number of concurrent workers. Zero or negative means
+	// DefaultWorkers().
+	Workers int
+	// Grain is the minimum number of iterations handed to a worker at a
+	// time under dynamic scheduling. Zero means an automatic grain of
+	// roughly n/(8*workers), clamped to [1, 8192].
+	Grain int
+	// Static selects static (blocked) scheduling: the index space is cut
+	// into exactly Workers contiguous blocks. Dynamic scheduling (the
+	// default) hands out Grain-sized chunks from an atomic cursor, which
+	// balances skewed workloads the way OpenMP schedule(dynamic) does.
+	Static bool
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = DefaultWorkers()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) grain(n, workers int) int {
+	g := o.Grain
+	if g <= 0 {
+		g = n / (8 * workers)
+		if g < 1 {
+			g = 1
+		}
+		if g > 8192 {
+			g = 8192
+		}
+	}
+	return g
+}
+
+// For runs body over the half-open index range [0, n) using the default
+// options. body receives a contiguous sub-range [lo, hi) and must be safe to
+// call concurrently with other sub-ranges.
+func For(n int, body func(lo, hi int)) {
+	ForOpt(n, Options{}, body)
+}
+
+// ForWorkers runs body over [0, n) with an explicit worker count. It is the
+// primitive used by the strong-scaling experiment (Figure 12).
+func ForWorkers(n, workers int, body func(lo, hi int)) {
+	ForOpt(n, Options{Workers: workers}, body)
+}
+
+// ForOpt runs body over the half-open index range [0, n) with the given
+// options. It returns once every index has been processed. A single-worker
+// loop degenerates to a direct call with no goroutines.
+func ForOpt(n int, opt Options, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := opt.workers(n)
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	if opt.Static {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			go func(lo, hi int) {
+				defer wg.Done()
+				if lo < hi {
+					body(lo, hi)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	grain := opt.grain(n, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachWorker runs body once per worker, passing the worker id and the
+// total worker count. Workers partition work themselves (e.g. over shards).
+func ForEachWorker(workers int, body func(worker, workers int)) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers == 1 {
+		body(0, 1)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			body(w, workers)
+		}(w)
+	}
+	wg.Wait()
+}

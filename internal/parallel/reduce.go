@@ -1,0 +1,98 @@
+package parallel
+
+import "sync"
+
+// MapReduce runs a per-worker partial computation over [0, n) and merges the
+// partials. newPartial allocates a worker-local accumulator, body folds a
+// contiguous index range into it, and merge folds one partial into another.
+// The final merged partial is returned. This is the canonical pattern for the
+// paper's "parallel aggregated queries": each worker owns a private
+// accumulator (histogram, matrix block, counter set) and the results are
+// combined once at the end, avoiding shared-write contention.
+func MapReduce[A any](n int, opt Options, newPartial func() A, body func(acc A, lo, hi int) A, merge func(dst, src A) A) A {
+	workers := opt.workers(max(n, 1))
+	if n <= 0 {
+		return newPartial()
+	}
+	if workers == 1 {
+		return body(newPartial(), 0, n)
+	}
+	partials := make([]A, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	grain := opt.grain(n, workers)
+	cursor := newCursor()
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			acc := newPartial()
+			for {
+				lo, hi := cursor.next(grain, n)
+				if lo >= hi {
+					break
+				}
+				acc = body(acc, lo, hi)
+			}
+			partials[w] = acc
+		}(w)
+	}
+	wg.Wait()
+	out := partials[0]
+	for w := 1; w < workers; w++ {
+		out = merge(out, partials[w])
+	}
+	return out
+}
+
+// SumInt64 computes the sum of f(i) over [0, n) in parallel.
+func SumInt64(n int, opt Options, f func(i int) int64) int64 {
+	return MapReduce(n, opt,
+		func() int64 { return 0 },
+		func(acc int64, lo, hi int) int64 {
+			for i := lo; i < hi; i++ {
+				acc += f(i)
+			}
+			return acc
+		},
+		func(dst, src int64) int64 { return dst + src },
+	)
+}
+
+// SumFloat64 computes the sum of f(i) over [0, n) in parallel. Each worker
+// keeps a private partial sum, so results are deterministic up to the
+// merge order of at most Workers partials.
+func SumFloat64(n int, opt Options, f func(i int) float64) float64 {
+	return MapReduce(n, opt,
+		func() float64 { return 0 },
+		func(acc float64, lo, hi int) float64 {
+			for i := lo; i < hi; i++ {
+				acc += f(i)
+			}
+			return acc
+		},
+		func(dst, src float64) float64 { return dst + src },
+	)
+}
+
+// CountIf counts indices in [0, n) for which pred returns true.
+func CountIf(n int, opt Options, pred func(i int) bool) int64 {
+	return MapReduce(n, opt,
+		func() int64 { return 0 },
+		func(acc int64, lo, hi int) int64 {
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					acc++
+				}
+			}
+			return acc
+		},
+		func(dst, src int64) int64 { return dst + src },
+	)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

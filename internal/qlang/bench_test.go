@@ -1,0 +1,35 @@
+package qlang
+
+import "testing"
+
+func BenchmarkCompile(b *testing.B) {
+	db := testDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(db, "sourcecountry=UK and delay>96 and quarter>=2016Q1 and doclen<2000"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchScan(b *testing.B) {
+	db := testDB(b)
+	f, err := Compile(db, "sourcecountry=UK and delay>96")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := db.Mentions.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		for row := 0; row < rows; row++ {
+			if f.Match(row) {
+				n++
+			}
+		}
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+	b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+}

@@ -1,0 +1,314 @@
+// Package qlang implements the user-defined query filter language of the
+// query execution engine: conjunctions of typed field comparisons compiled
+// to a per-row predicate over the columnar store. It gives CLI and HTTP
+// users ad-hoc filtering ("sourcecountry=UK and delay>96 and
+// quarter>=2016Q1") without writing Go.
+//
+// Grammar (conjunction-only; AND may be written "and" or "&&"):
+//
+//	expr   := clause { ("and" | "&&") clause }
+//	clause := field op value
+//	op     := "=" | "!=" | "<" | "<=" | ">" | ">="
+//	value  := integer | float | quarter (2016Q3) | string (bare or 'quoted')
+//
+// Fields (evaluated per mention row):
+//
+//	delay          publishing delay in 15-minute intervals
+//	interval       capture interval index
+//	quarter        calendar quarter (compare against 2016Q3-style literals)
+//	doclen         article length in characters
+//	tone           document tone (float)
+//	confidence     event-match confidence 0..100
+//	source         source domain (string; equality operators only)
+//	sourcecountry  publisher country FIPS code (string)
+//	eventcountry   event country FIPS code (string; untagged events never match =)
+//	articles       the mentioned event's total article count
+package qlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/store"
+)
+
+// Op is a comparison operator.
+type Op int
+
+// Comparison operators in precedence-free conjunction clauses.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var opNames = map[string]Op{
+	"=": OpEq, "==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (o Op) String() string {
+	for s, op := range opNames {
+		if op == o && s != "==" {
+			return s
+		}
+	}
+	return "?"
+}
+
+// Filter is a compiled predicate over mention rows of one DB.
+type Filter struct {
+	db    *store.DB
+	preds []func(row int) bool
+	expr  string
+}
+
+// Expr returns the source expression.
+func (f *Filter) Expr() string { return f.expr }
+
+// Match reports whether mention row satisfies every clause.
+func (f *Filter) Match(row int) bool {
+	for _, p := range f.preds {
+		if !p(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clauses returns the number of compiled clauses.
+func (f *Filter) Clauses() int { return len(f.preds) }
+
+// Compile parses and compiles expr against db. An empty expression compiles
+// to the match-everything filter.
+func Compile(db *store.DB, expr string) (*Filter, error) {
+	f := &Filter{db: db, expr: expr}
+	toks, err := lex(expr)
+	if err != nil {
+		return nil, err
+	}
+	pos := 0
+	for pos < len(toks) {
+		if toks[pos].kind == tokAnd {
+			pos++
+			continue
+		}
+		if pos+3 > len(toks) {
+			return nil, fmt.Errorf("qlang: incomplete clause at %q", remainder(toks[pos:]))
+		}
+		field, op, val := toks[pos], toks[pos+1], toks[pos+2]
+		pos += 3
+		if field.kind != tokWord {
+			return nil, fmt.Errorf("qlang: expected field name, got %q", field.text)
+		}
+		if op.kind != tokOp {
+			return nil, fmt.Errorf("qlang: expected operator after %q, got %q", field.text, op.text)
+		}
+		pred, err := f.compileClause(strings.ToLower(field.text), opNames[op.text], val)
+		if err != nil {
+			return nil, err
+		}
+		f.preds = append(f.preds, pred)
+	}
+	return f, nil
+}
+
+func remainder(toks []token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.text
+	}
+	return strings.Join(parts, " ")
+}
+
+// compileClause resolves the field and builds a closure over the columns.
+func (f *Filter) compileClause(field string, op Op, val token) (func(row int) bool, error) {
+	db := f.db
+	switch field {
+	case "delay":
+		return intClause(op, val, func(row int) int64 { return int64(db.Mentions.Delay[row]) })
+	case "interval":
+		return intClause(op, val, func(row int) int64 { return int64(db.Mentions.Interval[row]) })
+	case "doclen":
+		return intClause(op, val, func(row int) int64 { return int64(db.Mentions.DocLen[row]) })
+	case "confidence":
+		return intClause(op, val, func(row int) int64 { return int64(db.Mentions.Confidence[row]) })
+	case "articles":
+		return intClause(op, val, func(row int) int64 {
+			return int64(db.Events.NumArticles[db.Mentions.EventRow[row]])
+		})
+	case "tone":
+		fv, err := strconv.ParseFloat(val.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("qlang: tone needs a number, got %q", val.text)
+		}
+		return floatClause(op, fv, func(row int) float64 { return float64(db.Mentions.Tone[row]) })
+	case "quarter":
+		q, err := parseQuarter(db, val.text)
+		if err != nil {
+			return nil, err
+		}
+		return intClause(op, token{kind: tokNumber, text: strconv.Itoa(q)},
+			func(row int) int64 { return int64(db.QuarterOfInterval(db.Mentions.Interval[row])) })
+	case "source":
+		if op != OpEq && op != OpNe {
+			return nil, fmt.Errorf("qlang: source supports = and != only")
+		}
+		id := db.Sources.Lookup(val.text)
+		eq := op == OpEq
+		return func(row int) bool {
+			return (db.Mentions.Source[row] == id) == eq
+		}, nil
+	case "sourcecountry", "eventcountry":
+		if op != OpEq && op != OpNe {
+			return nil, fmt.Errorf("qlang: %s supports = and != only", field)
+		}
+		ci := gdelt.CountryIndex(strings.ToUpper(val.text))
+		if ci < 0 {
+			return nil, fmt.Errorf("qlang: unknown country code %q", val.text)
+		}
+		want := int16(ci)
+		eq := op == OpEq
+		if field == "sourcecountry" {
+			return func(row int) bool {
+				return (db.SourceCountry[db.Mentions.Source[row]] == want) == eq
+			}, nil
+		}
+		return func(row int) bool {
+			return (db.Events.Country[db.Mentions.EventRow[row]] == want) == eq
+		}, nil
+	}
+	return nil, fmt.Errorf("qlang: unknown field %q", field)
+}
+
+func intClause(op Op, val token, get func(row int) int64) (func(row int) bool, error) {
+	v, err := strconv.ParseInt(val.text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("qlang: expected an integer, got %q", val.text)
+	}
+	return func(row int) bool { return cmpInt(get(row), v, op) }, nil
+}
+
+func floatClause(op Op, v float64, get func(row int) float64) (func(row int) bool, error) {
+	return func(row int) bool { return cmpFloat(get(row), v, op) }, nil
+}
+
+func cmpInt(a, b int64, op Op) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpFloat(a, b float64, op Op) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// parseQuarter converts "2016Q3" to the DB's quarter index.
+func parseQuarter(db *store.DB, s string) (int, error) {
+	su := strings.ToUpper(s)
+	i := strings.IndexByte(su, 'Q')
+	if i < 0 {
+		return 0, fmt.Errorf("qlang: quarter literal %q (want e.g. 2016Q3)", s)
+	}
+	year, err1 := strconv.Atoi(su[:i])
+	qq, err2 := strconv.Atoi(su[i+1:])
+	if err1 != nil || err2 != nil || qq < 1 || qq > 4 {
+		return 0, fmt.Errorf("qlang: quarter literal %q (want e.g. 2016Q3)", s)
+	}
+	baseY := db.Meta.Start.Year()
+	baseQ := (db.Meta.Start.Month()-1)/3 + 1
+	return (year-baseY)*4 + (qq - baseQ), nil
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokWord tokKind = iota
+	tokOp
+	tokNumber
+	tokAnd
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(expr string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			j := i + 1
+			if j < len(expr) && expr[j] == '=' {
+				j++
+			}
+			op := expr[i:j]
+			if _, ok := opNames[op]; !ok {
+				return nil, fmt.Errorf("qlang: bad operator %q", op)
+			}
+			out = append(out, token{tokOp, op})
+			i = j
+		case c == '&':
+			if i+1 >= len(expr) || expr[i+1] != '&' {
+				return nil, fmt.Errorf("qlang: bad operator %q", "&")
+			}
+			out = append(out, token{tokAnd, "&&"})
+			i += 2
+		case c == '\'':
+			j := strings.IndexByte(expr[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("qlang: unterminated string at %q", expr[i:])
+			}
+			out = append(out, token{tokWord, expr[i+1 : i+1+j]})
+			i += j + 2
+		default:
+			j := i
+			for j < len(expr) && !strings.ContainsRune(" \t\n=!<>&'", rune(expr[j])) {
+				j++
+			}
+			word := expr[i:j]
+			if strings.EqualFold(word, "and") {
+				out = append(out, token{tokAnd, word})
+			} else {
+				out = append(out, token{tokWord, word})
+			}
+			i = j
+		}
+	}
+	return out, nil
+}

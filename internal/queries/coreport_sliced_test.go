@@ -1,0 +1,72 @@
+package queries
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoReportSlicedMatchesDense(t *testing.T) {
+	e := testEngine(t)
+	ids, _ := TopPublishers(e, 15)
+	dense, err := CoReport(e, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced, stats, err := CoReportSliced(e, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Slices != cachedDB.NumQuarters() {
+		t.Fatalf("slices %d", stats.Slices)
+	}
+	if len(stats.PieceNNZ) != stats.Slices {
+		t.Fatal("piece stats")
+	}
+	// Exactness: pair counts, event counts and Jaccard all agree.
+	for i := range dense.EventCounts {
+		if dense.EventCounts[i] != sliced.EventCounts[i] {
+			t.Fatalf("e_%d: dense %d sliced %d", i, dense.EventCounts[i], sliced.EventCounts[i])
+		}
+	}
+	for i := range dense.Pair.Data {
+		if dense.Pair.Data[i] != sliced.Pair.Data[i] {
+			t.Fatalf("pair cell %d: dense %d sliced %d", i, dense.Pair.Data[i], sliced.Pair.Data[i])
+		}
+	}
+	for i := range dense.Jaccard.Data {
+		if math.Abs(dense.Jaccard.Data[i]-sliced.Jaccard.Data[i]) > 1e-12 {
+			t.Fatalf("jaccard cell %d differs", i)
+		}
+	}
+	// The sparse representation is actually sparse: assembled NNZ bounded
+	// by n^2 minus the diagonal, and pieces are smaller than the whole.
+	n := len(ids)
+	if stats.AssembledNNZ > n*(n-1) {
+		t.Fatalf("assembled nnz %d", stats.AssembledNNZ)
+	}
+	var pieceSum int
+	for _, p := range stats.PieceNNZ {
+		pieceSum += p
+	}
+	if pieceSum < stats.AssembledNNZ {
+		t.Fatal("pieces cannot have fewer nonzeros than their sum")
+	}
+}
+
+func TestCoReportSlicedWorkerInvariance(t *testing.T) {
+	e := testEngine(t)
+	ids, _ := TopPublishers(e, 8)
+	a, _, err := CoReportSliced(e.WithWorkers(1), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := CoReportSliced(e.WithWorkers(7), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pair.Data {
+		if a.Pair.Data[i] != b.Pair.Data[i] {
+			t.Fatal("sliced results differ across worker counts")
+		}
+	}
+}

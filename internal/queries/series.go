@@ -1,0 +1,122 @@
+package queries
+
+import (
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/parallel"
+)
+
+// QuarterlySeries bundles a per-quarter integer series with its labels.
+type QuarterlySeries struct {
+	Labels []string
+	Values []int64
+}
+
+func quarterLabels(e *engine.Engine) []string {
+	db := e.DB()
+	labels := make([]string, db.NumQuarters())
+	for q := range labels {
+		labels[q] = db.QuarterLabel(q)
+	}
+	return labels
+}
+
+// ArticlesPerQuarter computes Figure 5: the number of articles observed in
+// each quarter.
+func ArticlesPerQuarter(e *engine.Engine) QuarterlySeries {
+	db := e.DB()
+	vals := e.GroupCount(db.NumQuarters(), func(row int) int {
+		return db.QuarterOfInterval(db.Mentions.Interval[row])
+	})
+	return QuarterlySeries{Labels: quarterLabels(e), Values: vals}
+}
+
+// EventsPerQuarter computes Figure 4: the number of events observed (by
+// event time) in each quarter.
+func EventsPerQuarter(e *engine.Engine) QuarterlySeries {
+	db := e.DB()
+	vals := e.GroupCountEvents(db.NumQuarters(), func(row int) int {
+		if db.Events.NumArticles[row] == 0 {
+			return -1 // never observed
+		}
+		return db.QuarterOfInterval(db.Events.Interval[row])
+	})
+	return QuarterlySeries{Labels: quarterLabels(e), Values: vals}
+}
+
+// ActiveSourcesPerQuarter computes Figure 3: the number of sources that
+// published at least one article in each quarter. Each worker walks a range
+// of sources and marks activity from its postings.
+func ActiveSourcesPerQuarter(e *engine.Engine) QuarterlySeries {
+	db := e.DB()
+	nq := db.NumQuarters()
+	vals := parallel.MapReduce(db.Sources.Len(), parallel.Options{Workers: e.Workers()},
+		func() []int64 { return make([]int64, nq) },
+		func(acc []int64, lo, hi int) []int64 {
+			seen := make([]bool, nq)
+			for s := lo; s < hi; s++ {
+				rows := db.SourceMentions(int32(s))
+				if len(rows) == 0 {
+					continue
+				}
+				for q := range seen {
+					seen[q] = false
+				}
+				for _, r := range rows {
+					seen[db.QuarterOfInterval(db.Mentions.Interval[r])] = true
+				}
+				for q, ok := range seen {
+					if ok {
+						acc[q]++
+					}
+				}
+			}
+			return acc
+		},
+		func(dst, src []int64) []int64 {
+			for i, v := range src {
+				dst[i] += v
+			}
+			return dst
+		},
+	)
+	return QuarterlySeries{Labels: quarterLabels(e), Values: vals}
+}
+
+// PublisherSeries is Figure 6: per-quarter article counts for a set of
+// publishers, one row per publisher.
+type PublisherSeries struct {
+	Labels  []string
+	Sources []int32
+	Names   []string
+	Totals  []int64
+	Values  [][]int64 // Values[p][q]
+}
+
+// TopPublisherSeries computes Figure 6 for the k most productive publishers.
+func TopPublisherSeries(e *engine.Engine, k int) PublisherSeries {
+	db := e.DB()
+	ids, totals := TopPublishers(e, k)
+	out := PublisherSeries{
+		Labels:  quarterLabels(e),
+		Sources: ids,
+		Totals:  totals,
+	}
+	rank := make(map[int32]int, len(ids))
+	for p, s := range ids {
+		out.Names = append(out.Names, db.Sources.Name(s))
+		rank[s] = p
+	}
+	nq := db.NumQuarters()
+	flat := e.GroupCount(len(ids)*nq, func(row int) int {
+		p, ok := rank[db.Mentions.Source[row]]
+		if !ok {
+			return -1
+		}
+		return p*nq + db.QuarterOfInterval(db.Mentions.Interval[row])
+	})
+	out.Values = make([][]int64, len(ids))
+	for p := range ids {
+		out.Values[p] = flat[p*nq : (p+1)*nq]
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package queries
+
+import (
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gdelt"
+)
+
+// ToneSeries is a per-quarter average-tone series for one publishing
+// country, the GCAM-style sentiment view GDELT 2.0 carries alongside every
+// article (Section III). Quarters without articles hold NaN-free zeros and
+// a zero count.
+type ToneSeries struct {
+	Country string // FIPS code
+	Labels  []string
+	Average []float64
+	Count   []int64
+}
+
+// ToneByCountry computes the quarterly average document tone of each listed
+// publishing country's press in one parallel pass over the mention table.
+func ToneByCountry(e *engine.Engine, fips []string) []ToneSeries {
+	db := e.DB()
+	nq := db.NumQuarters()
+	idx := make(map[int16]int, len(fips))
+	out := make([]ToneSeries, len(fips))
+	labels := quarterLabels(e)
+	for i, f := range fips {
+		ci := gdelt.CountryIndex(f)
+		if ci >= 0 {
+			idx[int16(ci)] = i
+		}
+		out[i] = ToneSeries{
+			Country: f,
+			Labels:  labels,
+			Average: make([]float64, nq),
+			Count:   make([]int64, nq),
+		}
+	}
+	// One flat group space: country slot x quarter.
+	sums := e.SumByGroup(len(fips)*nq, func(row int) (int, float64) {
+		i, ok := idx[db.SourceCountry[db.Mentions.Source[row]]]
+		if !ok {
+			return -1, 0
+		}
+		q := db.QuarterOfInterval(db.Mentions.Interval[row])
+		return i*nq + q, float64(db.Mentions.Tone[row])
+	})
+	counts := e.GroupCount(len(fips)*nq, func(row int) int {
+		i, ok := idx[db.SourceCountry[db.Mentions.Source[row]]]
+		if !ok {
+			return -1
+		}
+		return i*nq + db.QuarterOfInterval(db.Mentions.Interval[row])
+	})
+	for i := range out {
+		for q := 0; q < nq; q++ {
+			n := counts[i*nq+q]
+			out[i].Count[q] = n
+			if n > 0 {
+				out[i].Average[q] = sums[i*nq+q] / float64(n)
+			}
+		}
+	}
+	return out
+}

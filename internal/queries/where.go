@@ -1,0 +1,56 @@
+package queries
+
+import (
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/qlang"
+)
+
+// CountWhere counts articles matching a qlang filter expression.
+func CountWhere(e *engine.Engine, expr string) (int64, error) {
+	f, err := qlang.Compile(e.DB(), expr)
+	if err != nil {
+		return 0, err
+	}
+	return e.CountMentions(f.Match), nil
+}
+
+// ArticlesPerQuarterWhere computes the quarterly article series restricted
+// to a qlang filter expression.
+func ArticlesPerQuarterWhere(e *engine.Engine, expr string) (QuarterlySeries, error) {
+	db := e.DB()
+	f, err := qlang.Compile(db, expr)
+	if err != nil {
+		return QuarterlySeries{}, err
+	}
+	vals := e.GroupCount(db.NumQuarters(), func(row int) int {
+		if !f.Match(row) {
+			return -1
+		}
+		return db.QuarterOfInterval(db.Mentions.Interval[row])
+	})
+	return QuarterlySeries{Labels: quarterLabels(e), Values: vals}, nil
+}
+
+// TopPublishersWhere ranks sources by article count within a qlang filter.
+func TopPublishersWhere(e *engine.Engine, expr string, k int) (ids []int32, counts []int64, err error) {
+	db := e.DB()
+	f, err := qlang.Compile(db, expr)
+	if err != nil {
+		return nil, nil, err
+	}
+	perSource := e.GroupCount(db.Sources.Len(), func(row int) int {
+		if !f.Match(row) {
+			return -1
+		}
+		return int(db.Mentions.Source[row])
+	})
+	top := engine.TopK(len(perSource), k, func(i int) int64 { return perSource[i] })
+	for _, s := range top {
+		if perSource[s] == 0 {
+			break
+		}
+		ids = append(ids, int32(s))
+		counts = append(counts, perSource[s])
+	}
+	return ids, counts, nil
+}

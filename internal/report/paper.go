@@ -1,0 +1,280 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/queries"
+)
+
+// publisherLetters labels the top publishers A..Z as the paper's Tables IV
+// and VIII do.
+func publisherLetters(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('A' + i))
+	}
+	return out
+}
+
+// TableI renders the general dataset statistics.
+func TableI(ds queries.DatasetStats) string {
+	rows := [][]string{
+		{"Sources", Int(int64(ds.Sources))},
+		{"Events", Int(ds.Events)},
+		{"Capture intervals", Int(ds.CaptureIntervals)},
+		{"Articles", Int(ds.Articles)},
+		{"Minimum number of articles per event", Int(ds.MinArticles)},
+		{"Maximum number of articles per event", Int(ds.MaxArticles)},
+		{"Articles per event (weighted average)", F(ds.WeightedAvg, 2)},
+	}
+	if ds.ZeroMentionEvents > 0 {
+		rows = append(rows, []string{"Events with no surviving articles", Int(ds.ZeroMentionEvents)})
+	}
+	return Table("Table I: General dataset statistics", []string{"Number of", "Value"}, rows)
+}
+
+// TableII renders the defect report.
+func TableII(r *gdelt.ValidationReport) string {
+	var rows [][]string
+	for c := gdelt.DefectClass(0); ; c++ {
+		label := c.String()
+		if strings.HasPrefix(label, "DefectClass(") {
+			break
+		}
+		rows = append(rows, []string{label, Int(r.Counts[c])})
+	}
+	return Table("Table II: Problems found during the dataset analysis", []string{"Number of", "Value"}, rows)
+}
+
+// TableIII renders the most reported events.
+func TableIII(top []queries.TopEvent) string {
+	rows := make([][]string, len(top))
+	for i, ev := range top {
+		url := ev.SourceURL
+		if url == "" {
+			url = fmt.Sprintf("(event %d, source URL missing)", ev.EventID)
+		}
+		rows[i] = []string{Int(ev.Mentions), url}
+	}
+	return Table("Table III: The ten most reported events", []string{"Mentions", "Event source URL"}, rows)
+}
+
+// TableIV renders the follow-reporting matrix of the top publishers with
+// the column-sum footer row.
+func TableIV(fr *queries.FollowReporting) string {
+	n := len(fr.Sources)
+	letters := publisherLetters(n)
+	headers := append([]string{"First Publisher"}, letters...)
+	rows := make([][]string, 0, n+1)
+	for i := 0; i < n; i++ {
+		row := make([]string, n+1)
+		row[0] = letters[i]
+		for j := 0; j < n; j++ {
+			row[j+1] = F(fr.F.At(i, j), 3)
+		}
+		rows = append(rows, row)
+	}
+	sumRow := make([]string, n+1)
+	sumRow[0] = "Sum"
+	for j := 0; j < n; j++ {
+		sumRow[j+1] = F(fr.ColSums[j], 3)
+	}
+	rows = append(rows, sumRow)
+	legend := make([]string, n)
+	for i, name := range fr.Names {
+		legend[i] = fmt.Sprintf("%s=%s", letters[i], name)
+	}
+	return Table("Table IV: The follow-reporting matrix for the most productive news websites (f_ij)",
+		headers, rows) + "Publishers: " + strings.Join(legend, ", ") + "\n"
+}
+
+// countryNames maps country indexes to display names.
+func countryNames(idx []int) []string {
+	out := make([]string, len(idx))
+	for i, c := range idx {
+		out[i] = gdelt.Countries[c].Name
+	}
+	return out
+}
+
+// TableV renders co-reporting between the top-k publishing countries.
+func TableV(cr *queries.CountryReport, k int) string {
+	top := cr.TopPublishing
+	if len(top) > k {
+		top = top[:k]
+	}
+	names := countryNames(top)
+	return Matrix("Table V: Common Reporting between World Regions (Jaccard)", names, names,
+		func(i, j int) string {
+			if i == j {
+				return ""
+			}
+			return F(cr.CoReporting.At(top[i], top[j]), 3)
+		})
+}
+
+// TableVI renders the country-cross-reporting article counts for the top-k
+// reported (rows) and publishing (columns) countries.
+func TableVI(cr *queries.CountryReport, k int) string {
+	rows := cr.TopReported
+	cols := cr.TopPublishing
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	if len(cols) > k {
+		cols = cols[:k]
+	}
+	return Matrix("Table VI: The country-cross-reporting matrix (articles)",
+		countryNames(rows), countryNames(cols),
+		func(i, j int) string { return Int(cr.Cross.At(rows[i], cols[j])) })
+}
+
+// TableVII renders the cross-reporting percentages.
+func TableVII(cr *queries.CountryReport, k int) string {
+	rows := cr.TopReported
+	cols := cr.TopPublishing
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	if len(cols) > k {
+		cols = cols[:k]
+	}
+	return Matrix("Table VII: The fractional country-cross-reporting matrix (percent)",
+		countryNames(rows), countryNames(cols),
+		func(i, j int) string { return F(cr.Fractions.At(rows[i], cols[j]), 2) })
+}
+
+// TableVIII renders the per-publisher delay statistics.
+func TableVIII(rows []queries.SourceDelayStats) string {
+	letters := publisherLetters(len(rows))
+	out := make([][]string, len(rows))
+	legend := make([]string, len(rows))
+	for i, st := range rows {
+		out[i] = []string{letters[i], Int(st.Min), Int(st.Max), F(st.Average, 0), Int(st.Median)}
+		legend[i] = fmt.Sprintf("%s=%s", letters[i], st.Name)
+	}
+	return Table("Table VIII: The publication delay statistic for the most productive news websites (15-minute intervals)",
+		[]string{"Publisher", "Min", "Max", "Average", "Median"}, out) +
+		"Publishers: " + strings.Join(legend, ", ") + "\n"
+}
+
+// FigureSeries renders a quarterly integer series as a figure CSV.
+func FigureSeries(title string, s queries.QuarterlySeries) string {
+	vals := make([]float64, len(s.Values))
+	for i, v := range s.Values {
+		vals[i] = float64(v)
+	}
+	return Series(title, s.Labels, map[string][]float64{"value": vals}, []string{"value"})
+}
+
+// Figure2 renders the event-size distribution with its power-law fit.
+func Figure2(d queries.EventSizeDistribution) string {
+	var labels []string
+	var vals []float64
+	for x := 1; x < len(d.Counts); x++ {
+		if d.Counts[x] > 0 {
+			labels = append(labels, fmt.Sprintf("%d", x))
+			vals = append(vals, float64(d.Counts[x]))
+		}
+	}
+	head := fmt.Sprintf("Figure 2: events per article count (power-law fit: alpha=%.2f R2=%.3f over %d points)",
+		d.Fit.Alpha, d.Fit.R2, d.Fit.N)
+	if d.FitErr != nil {
+		head = fmt.Sprintf("Figure 2: events per article count (fit failed: %v)", d.FitErr)
+	}
+	return Series(head, labels, map[string][]float64{"events": vals}, []string{"events"})
+}
+
+// Figure6 renders the per-quarter article series of the top publishers.
+func Figure6(ps queries.PublisherSeries) string {
+	cols := map[string][]float64{}
+	var order []string
+	for p, name := range ps.Names {
+		key := fmt.Sprintf("%s(%s)", name, Int(ps.Totals[p]))
+		order = append(order, key)
+		vals := make([]float64, len(ps.Values[p]))
+		for q, v := range ps.Values[p] {
+			vals[q] = float64(v)
+		}
+		cols[key] = vals
+	}
+	return Series("Figure 6: articles per quarter for the top publishers", ps.Labels, cols, order)
+}
+
+// Figure7 renders the follow-reporting matrix of the top-50 publishers
+// (rows and columns in the same productivity order, as in the paper).
+func Figure7(fr *queries.FollowReporting) string {
+	n := len(fr.Sources)
+	cols := make([]string, n)
+	rows := make([]string, n)
+	for i := 0; i < n; i++ {
+		cols[i] = fmt.Sprintf("%d", i+1)
+		rows[i] = fmt.Sprintf("%2d %s", i+1, fr.Names[i])
+	}
+	return Matrix("Figure 7: follow-reporting matrix for the most productive news websites (f_ij)",
+		rows, cols, func(i, j int) string { return F(fr.F.At(i, j), 3) })
+}
+
+// Figure8 renders the countries-cross-reporting matrix for the top-k
+// reported and publishing countries (article counts; the paper plots them
+// on a log scale).
+func Figure8(cr *queries.CountryReport, k int) string {
+	rows := cr.TopReported
+	cols := cr.TopPublishing
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	if len(cols) > k {
+		cols = cols[:k]
+	}
+	rl := make([]string, len(rows))
+	cl := make([]string, len(cols))
+	for i, c := range rows {
+		rl[i] = gdelt.Countries[c].FIPS
+	}
+	for j, c := range cols {
+		cl[j] = gdelt.Countries[c].FIPS
+	}
+	return Matrix(fmt.Sprintf("Figure 8: countries-cross-reporting matrix, top %d reported x top %d publishing (articles)", len(rows), len(cols)),
+		rl, cl, func(i, j int) string { return Int(cr.Cross.At(rows[i], cols[j])) })
+}
+
+// Figure9 renders the four per-source delay histograms.
+func Figure9(dd *queries.DelayDistribution) string {
+	n := len(dd.Min.Counts)
+	labels := make([]string, n)
+	for b := 0; b < n; b++ {
+		lo, _ := dd.Min.BucketBounds(b)
+		labels[b] = fmt.Sprintf("%.0f", lo)
+	}
+	toF := func(cs []int64) []float64 {
+		out := make([]float64, len(cs))
+		for i, c := range cs {
+			out[i] = float64(c)
+		}
+		return out
+	}
+	return Series("Figure 9: per-source delay distributions (log2 buckets of 15-minute intervals)",
+		labels,
+		map[string][]float64{
+			"min":     toF(dd.Min.Counts),
+			"average": toF(dd.Average.Counts),
+			"median":  toF(dd.Median.Counts),
+			"max":     toF(dd.Max.Counts),
+		},
+		[]string{"min", "average", "median", "max"})
+}
+
+// Figure10 renders the quarterly average and median delays.
+func Figure10(qd queries.QuarterlyDelay) string {
+	med := make([]float64, len(qd.Median))
+	for i, v := range qd.Median {
+		med[i] = float64(v)
+	}
+	return Series("Figure 10: aggregated quarterly publishing delay (15-minute intervals)",
+		qd.Labels,
+		map[string][]float64{"average": qd.Average, "median": med},
+		[]string{"average", "median"})
+}

@@ -1,0 +1,120 @@
+// Package report renders experiment results in the layout of the paper's
+// tables and figures: fixed-width ASCII tables for Tables I-VIII and CSV
+// series suitable for plotting for Figures 2-12.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders a fixed-width text table. Column widths adapt to content;
+// the first row of cells is treated as data (headers are passed
+// separately).
+func Table(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Matrix renders a labeled matrix with a cell formatter.
+func Matrix(title string, rowLabels, colLabels []string, cell func(i, j int) string) string {
+	headers := append([]string{""}, colLabels...)
+	rows := make([][]string, len(rowLabels))
+	for i, rl := range rowLabels {
+		row := make([]string, len(colLabels)+1)
+		row[0] = rl
+		for j := range colLabels {
+			row[j+1] = cell(i, j)
+		}
+		rows[i] = row
+	}
+	return Table(title, headers, rows)
+}
+
+// Series renders labeled value columns as CSV: one row per label, the
+// format every figure is emitted in (ready for plotting).
+func Series(title string, labels []string, cols map[string][]float64, order []string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "# %s\n", title)
+	}
+	b.WriteString("label")
+	for _, name := range order {
+		b.WriteByte(',')
+		b.WriteString(name)
+	}
+	b.WriteByte('\n')
+	for i, l := range labels {
+		b.WriteString(l)
+		for _, name := range order {
+			col := cols[name]
+			if i < len(col) {
+				fmt.Fprintf(&b, ",%g", col[i])
+			} else {
+				b.WriteByte(',')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Int formats an integer with comma thousands separators, matching the
+// paper's "1,090,310,118" style.
+func Int(v int64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := fmt.Sprintf("%d", v)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// F formats a float with the given number of decimals, trimming to the
+// paper's compact style (e.g. 0.113, 39.67).
+func F(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}

@@ -1,0 +1,448 @@
+// Package serve exposes the analysis engine over HTTP/JSON — the
+// language-agnostic realization of the paper's planned "Python interface
+// for ease of use". One loaded dataset serves concurrent read-only queries;
+// every endpoint accepts optional workers, from and to parameters to pin
+// parallelism and restrict the capture-time window.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/queries"
+	"gdeltmine/internal/store"
+)
+
+// Server serves analysis queries over one immutable dataset.
+type Server struct {
+	db  *store.DB
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// New returns a server over the database.
+func New(db *store.DB) *Server {
+	s := &Server{db: db, eng: engine.New(db)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/stats", s.handleStats)
+	mux.HandleFunc("/api/defects", s.handleDefects)
+	mux.HandleFunc("/api/top-publishers", s.handleTopPublishers)
+	mux.HandleFunc("/api/top-events", s.handleTopEvents)
+	mux.HandleFunc("/api/event-sizes", s.handleEventSizes)
+	mux.HandleFunc("/api/country", s.handleCountry)
+	mux.HandleFunc("/api/follow", s.handleFollow)
+	mux.HandleFunc("/api/coreport", s.handleCoReport)
+	mux.HandleFunc("/api/delays", s.handleDelays)
+	mux.HandleFunc("/api/quarterly-delay", s.handleQuarterlyDelay)
+	mux.HandleFunc("/api/series/", s.handleSeries)
+	mux.HandleFunc("/api/wildfires", s.handleWildfires)
+	mux.HandleFunc("/api/count", s.handleCount)
+	mux.HandleFunc("/api/themes", s.handleThemes)
+	mux.HandleFunc("/api/theme-trends", s.handleThemeTrends)
+	mux.HandleFunc("/api/translated-share", s.handleTranslatedShare)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// queryEngine derives the engine view for a request: worker pinning and
+// time windowing.
+func (s *Server) queryEngine(r *http.Request) (*engine.Engine, error) {
+	e := s.eng
+	if ws := r.URL.Query().Get("workers"); ws != "" {
+		w, err := strconv.Atoi(ws)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("invalid workers %q", ws)
+		}
+		e = e.WithWorkers(w)
+	}
+	from, to := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+	if from != "" || to != "" {
+		base := s.db.Meta.Start.IntervalIndex()
+		lo, hi := int64(0), int64(s.db.Meta.Intervals)
+		if from != "" {
+			ts, err := gdelt.ParseTimestamp(from)
+			if err != nil {
+				return nil, fmt.Errorf("invalid from: %v", err)
+			}
+			lo = ts.IntervalIndex() - base
+		}
+		if to != "" {
+			ts, err := gdelt.ParseTimestamp(to)
+			if err != nil {
+				return nil, fmt.Errorf("invalid to: %v", err)
+			}
+			hi = ts.IntervalIndex() - base
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > int64(s.db.Meta.Intervals) {
+			hi = int64(s.db.Meta.Intervals)
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("empty window")
+		}
+		e = e.WithInterval(int32(lo), int32(hi))
+	}
+	return e, nil
+}
+
+func intParam(r *http.Request, name string, def, max int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("invalid %s %q", name, v)
+	}
+	if n > max {
+		n = max
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, queries.Dataset(e))
+}
+
+func (s *Server) handleDefects(w http.ResponseWriter, r *http.Request) {
+	type defect struct {
+		Class string `json:"class"`
+		Count int64  `json:"count"`
+	}
+	var out []defect
+	for c, n := range s.db.Report.Counts {
+		out = append(out, defect{Class: gdelt.DefectClass(c).String(), Count: n})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleTopPublishers(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 10, s.db.Sources.Len())
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ids, counts := queries.TopPublishers(e, k)
+	type row struct {
+		Rank     int    `json:"rank"`
+		Source   string `json:"source"`
+		Articles int64  `json:"articles"`
+	}
+	out := make([]row, len(ids))
+	for i := range ids {
+		out[i] = row{Rank: i + 1, Source: s.db.Sources.Name(ids[i]), Articles: counts[i]}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleTopEvents(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 10, s.db.Events.Len())
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, queries.TopEvents(e, k))
+}
+
+func (s *Server) handleEventSizes(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	d := queries.EventSizes(e, 2)
+	out := struct {
+		Counts []int64 `json:"counts"`
+		Alpha  float64 `json:"alpha"`
+		R2     float64 `json:"r2"`
+	}{Counts: d.Counts, Alpha: d.Fit.Alpha, R2: d.Fit.R2}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleCountry(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 10, len(gdelt.Countries))
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	cr, err := queries.CountryQuery(e)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rows := cr.TopReported[:k]
+	cols := cr.TopPublishing[:k]
+	name := func(idx []int) []string {
+		out := make([]string, len(idx))
+		for i, c := range idx {
+			out[i] = gdelt.Countries[c].Name
+		}
+		return out
+	}
+	cross := make([][]int64, k)
+	pct := make([][]float64, k)
+	co := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		cross[i] = make([]int64, k)
+		pct[i] = make([]float64, k)
+		co[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			cross[i][j] = cr.Cross.At(rows[i], cols[j])
+			pct[i][j] = cr.Fractions.At(rows[i], cols[j])
+			co[i][j] = cr.CoReporting.At(cols[i], cols[j])
+		}
+	}
+	writeJSON(w, struct {
+		Reported    []string    `json:"reported"`
+		Publishing  []string    `json:"publishing"`
+		Cross       [][]int64   `json:"cross"`
+		Percent     [][]float64 `json:"percent"`
+		CoReporting [][]float64 `json:"coReporting"`
+	}{name(rows), name(cols), cross, pct, co})
+}
+
+func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 10, s.db.Sources.Len())
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ids, _ := queries.TopPublishers(e, k)
+	fr := queries.FollowReport(e, ids)
+	f := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		f[i] = append([]float64(nil), fr.F.Row(i)...)
+	}
+	writeJSON(w, struct {
+		Names   []string    `json:"names"`
+		F       [][]float64 `json:"f"`
+		ColSums []float64   `json:"colSums"`
+	}{fr.Names, f, fr.ColSums})
+}
+
+func (s *Server) handleCoReport(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 10, s.db.Sources.Len())
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ids, _ := queries.TopPublishers(e, k)
+	co, err := queries.CoReport(e, ids)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	jac := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		jac[i] = append([]float64(nil), co.Jaccard.Row(i)...)
+	}
+	writeJSON(w, struct {
+		Names   []string    `json:"names"`
+		Jaccard [][]float64 `json:"jaccard"`
+	}{co.Names, jac})
+}
+
+func (s *Server) handleDelays(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 10, s.db.Sources.Len())
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	ids, _ := queries.TopPublishers(e, k)
+	writeJSON(w, queries.PublisherDelays(e, ids))
+}
+
+func (s *Server) handleQuarterlyDelay(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, queries.QuarterlyDelays(e))
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	var series queries.QuarterlySeries
+	switch r.URL.Path {
+	case "/api/series/articles":
+		series = queries.ArticlesPerQuarter(e)
+	case "/api/series/events":
+		series = queries.EventsPerQuarter(e)
+	case "/api/series/active-sources":
+		series = queries.ActiveSourcesPerQuarter(e)
+	case "/api/series/slow-articles":
+		series = queries.SlowArticlesPerQuarter(e)
+	default:
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, series)
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	expr := r.URL.Query().Get("where")
+	n, err := queries.CountWhere(e, expr)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, struct {
+		Where    string `json:"where"`
+		Articles int64  `json:"articles"`
+	}{expr, n})
+}
+
+// gkgError maps ErrNoGKG to 404 and other errors to 500.
+func gkgError(w http.ResponseWriter, err error) {
+	if err == queries.ErrNoGKG {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+func (s *Server) handleThemes(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 10, 1000)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	top, err := queries.TopThemes(e, k)
+	if err != nil {
+		gkgError(w, err)
+		return
+	}
+	writeJSON(w, top)
+}
+
+func (s *Server) handleThemeTrends(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	names := r.URL.Query()["theme"]
+	if len(names) == 0 {
+		badRequest(w, fmt.Errorf("at least one theme parameter required"))
+		return
+	}
+	trends, err := queries.ThemeTrends(e, names)
+	if err != nil {
+		gkgError(w, err)
+		return
+	}
+	writeJSON(w, trends)
+}
+
+func (s *Server) handleTranslatedShare(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	labels, share, err := queries.TranslatedShare(e)
+	if err != nil {
+		gkgError(w, err)
+		return
+	}
+	writeJSON(w, struct {
+		Labels []string  `json:"labels"`
+		Share  []float64 `json:"share"`
+	}{labels, share})
+}
+
+func (s *Server) handleWildfires(w http.ResponseWriter, r *http.Request) {
+	e, err := s.queryEngine(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	window, err := intParam(r, "window", 8, 1<<20)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	minSources, err := intParam(r, "min", 5, 1<<20)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 10, 1000)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, queries.FastSpreadingEvents(e, int32(window), minSources, k))
+}

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gdeltmine/internal/convert"
+	"gdeltmine/internal/gen"
+	"gdeltmine/internal/store"
+)
+
+var cachedDB *store.DB
+
+func testServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	if cachedDB == nil {
+		c, err := gen.Generate(gen.Small())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := convert.FromCorpus(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedDB = res.DB
+	}
+	srv := httptest.NewServer(New(cachedDB))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decoding: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var st struct {
+		Sources  int
+		Events   int64
+		Articles int64
+	}
+	if code := getJSON(t, srv, "/api/stats", &st); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if st.Sources == 0 || st.Events == 0 || st.Articles == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDefectsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var defects []struct {
+		Class string `json:"class"`
+		Count int64  `json:"count"`
+	}
+	if code := getJSON(t, srv, "/api/defects", &defects); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(defects) == 0 {
+		t.Fatal("no defect classes")
+	}
+}
+
+func TestTopPublishersEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var rows []struct {
+		Rank     int    `json:"rank"`
+		Source   string `json:"source"`
+		Articles int64  `json:"articles"`
+	}
+	if code := getJSON(t, srv, "/api/top-publishers?k=5", &rows); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(rows) != 5 || rows[0].Articles < rows[4].Articles {
+		t.Fatalf("rows %+v", rows)
+	}
+}
+
+func TestTopEventsAndSizes(t *testing.T) {
+	srv := testServer(t)
+	var evs []struct {
+		Mentions int64
+	}
+	if code := getJSON(t, srv, "/api/top-events?k=3", &evs); code != 200 {
+		t.Fatal("top-events")
+	}
+	if len(evs) != 3 {
+		t.Fatalf("events %d", len(evs))
+	}
+	var sizes struct {
+		Counts []int64
+		Alpha  float64
+	}
+	if code := getJSON(t, srv, "/api/event-sizes", &sizes); code != 200 {
+		t.Fatal("event-sizes")
+	}
+	if sizes.Alpha <= 0 || len(sizes.Counts) == 0 {
+		t.Fatalf("sizes %+v", sizes.Alpha)
+	}
+}
+
+func TestCountryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var out struct {
+		Reported   []string
+		Publishing []string
+		Cross      [][]int64
+		Percent    [][]float64
+	}
+	if code := getJSON(t, srv, "/api/country?k=5", &out); code != 200 {
+		t.Fatal("country")
+	}
+	if len(out.Reported) != 5 || len(out.Cross) != 5 || len(out.Cross[0]) != 5 {
+		t.Fatalf("shape %+v", out.Reported)
+	}
+	if out.Reported[0] != "United States" {
+		t.Fatalf("top reported %q", out.Reported[0])
+	}
+}
+
+func TestFollowAndCoReportEndpoints(t *testing.T) {
+	srv := testServer(t)
+	var fr struct {
+		Names   []string
+		F       [][]float64
+		ColSums []float64
+	}
+	if code := getJSON(t, srv, "/api/follow?k=4", &fr); code != 200 {
+		t.Fatal("follow")
+	}
+	if len(fr.F) != 4 || len(fr.ColSums) != 4 {
+		t.Fatal("follow shape")
+	}
+	var co struct {
+		Names   []string
+		Jaccard [][]float64
+	}
+	if code := getJSON(t, srv, "/api/coreport?k=4", &co); code != 200 {
+		t.Fatal("coreport")
+	}
+	if len(co.Jaccard) != 4 {
+		t.Fatal("coreport shape")
+	}
+}
+
+func TestSeriesEndpoints(t *testing.T) {
+	srv := testServer(t)
+	for _, which := range []string{"articles", "events", "active-sources", "slow-articles"} {
+		var s struct {
+			Labels []string
+			Values []int64
+		}
+		if code := getJSON(t, srv, "/api/series/"+which, &s); code != 200 {
+			t.Fatalf("series %s", which)
+		}
+		if len(s.Labels) != len(s.Values) || len(s.Values) == 0 {
+			t.Fatalf("series %s shape", which)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/api/series/nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown series status %d", resp.StatusCode)
+	}
+}
+
+func TestWildfiresEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var fires []struct {
+		EarlySources int
+	}
+	if code := getJSON(t, srv, "/api/wildfires?window=16&min=3&k=5", &fires); code != 200 {
+		t.Fatal("wildfires")
+	}
+	if len(fires) == 0 {
+		t.Fatal("no wildfires")
+	}
+}
+
+func TestDelayEndpoints(t *testing.T) {
+	srv := testServer(t)
+	var rows []struct {
+		Name   string
+		Median int64
+	}
+	if code := getJSON(t, srv, "/api/delays?k=3", &rows); code != 200 {
+		t.Fatal("delays")
+	}
+	if len(rows) != 3 || rows[0].Name == "" {
+		t.Fatal("delay rows")
+	}
+	var qd struct {
+		Average []float64
+		Median  []int64
+	}
+	if code := getJSON(t, srv, "/api/quarterly-delay", &qd); code != 200 {
+		t.Fatal("quarterly-delay")
+	}
+	if len(qd.Average) == 0 || len(qd.Average) != len(qd.Median) {
+		t.Fatal("quarterly shape")
+	}
+}
+
+func TestWindowParameterRestricts(t *testing.T) {
+	srv := testServer(t)
+	var whole, windowed struct{ Articles int64 }
+	if code := getJSON(t, srv, "/api/stats", &whole); code != 200 {
+		t.Fatal("stats")
+	}
+	// Only 2016.
+	path := "/api/stats?from=20160101000000&to=20170101000000"
+	if code := getJSON(t, srv, path, &windowed); code != 200 {
+		t.Fatal("windowed stats")
+	}
+	_ = windowed // Dataset() counts full tables; check a scan endpoint instead.
+
+	var all, y2016 []struct{ Articles int64 }
+	if code := getJSON(t, srv, "/api/top-publishers?k=1", &all); code != 200 {
+		t.Fatal("top")
+	}
+	if code := getJSON(t, srv, "/api/top-publishers?k=1&from=20160101000000&to=20170101000000", &y2016); code != 200 {
+		t.Fatal("top windowed")
+	}
+	if y2016[0].Articles >= all[0].Articles {
+		t.Fatalf("window did not restrict: %d vs %d", y2016[0].Articles, all[0].Articles)
+	}
+}
+
+func TestCountEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var all, slow struct {
+		Where    string `json:"where"`
+		Articles int64  `json:"articles"`
+	}
+	if code := getJSON(t, srv, "/api/count", &all); code != 200 {
+		t.Fatal("count")
+	}
+	if all.Articles == 0 {
+		t.Fatal("no articles")
+	}
+	if code := getJSON(t, srv, "/api/count?where=delay>96", &slow); code != 200 {
+		t.Fatal("filtered count")
+	}
+	if slow.Articles == 0 || slow.Articles >= all.Articles {
+		t.Fatalf("filtered %d of %d", slow.Articles, all.Articles)
+	}
+	resp, err := http.Get(srv.URL + "/api/count?where=nosuchfield=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad expression status %d", resp.StatusCode)
+	}
+}
+
+func TestThemeEndpoints(t *testing.T) {
+	srv := testServer(t)
+	var themes []struct {
+		Theme    string
+		Articles int64
+	}
+	if code := getJSON(t, srv, "/api/themes?k=5", &themes); code != 200 {
+		t.Fatalf("themes status %d", code)
+	}
+	if len(themes) != 5 || themes[0].Articles == 0 {
+		t.Fatalf("themes %+v", themes)
+	}
+	var trends []struct {
+		Theme  string
+		Values []int64
+	}
+	if code := getJSON(t, srv, "/api/theme-trends?theme="+themes[0].Theme, &trends); code != 200 {
+		t.Fatal("trends")
+	}
+	if len(trends) != 1 || len(trends[0].Values) == 0 {
+		t.Fatalf("trends %+v", trends)
+	}
+	resp, err := http.Get(srv.URL + "/api/theme-trends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing theme param status %d", resp.StatusCode)
+	}
+	var ts struct {
+		Labels []string
+		Share  []float64
+	}
+	if code := getJSON(t, srv, "/api/translated-share", &ts); code != 200 {
+		t.Fatal("translated-share")
+	}
+	if len(ts.Labels) != len(ts.Share) || len(ts.Share) == 0 {
+		t.Fatal("translated-share shape")
+	}
+}
+
+func TestBadParameters(t *testing.T) {
+	srv := testServer(t)
+	for _, path := range []string{
+		"/api/top-publishers?k=zero",
+		"/api/stats?workers=-1",
+		"/api/stats?from=notatime",
+		"/api/stats?from=20170101000000&to=20160101000000",
+		"/api/wildfires?window=x",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d want 400", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitPowerLawRecoversExponent(t *testing.T) {
+	// Exact synthetic law: counts[x] = round(1e6 * x^-2.5).
+	counts := make([]int64, 200)
+	for x := 1; x < len(counts); x++ {
+		counts[x] = int64(1e6 * math.Pow(float64(x), -2.5))
+	}
+	fit, err := FitPowerLaw(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-2.5) > 0.1 {
+		t.Fatalf("alpha %v want ~2.5", fit.Alpha)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("r2 %v", fit.R2)
+	}
+	if fit.N < 50 {
+		t.Fatalf("too few points used: %d", fit.N)
+	}
+}
+
+func TestFitPowerLawXminSkipsHead(t *testing.T) {
+	counts := make([]int64, 100)
+	// Flat head below 10, power law above.
+	for x := 1; x < 10; x++ {
+		counts[x] = 1000
+	}
+	for x := 10; x < len(counts); x++ {
+		counts[x] = int64(1e7 * math.Pow(float64(x), -3))
+	}
+	whole, err := FitPowerLaw(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := FitPowerLaw(counts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.R2 <= whole.R2 {
+		t.Fatalf("tail fit should be better: tail R2=%v whole R2=%v", tail.R2, whole.R2)
+	}
+	if math.Abs(tail.Alpha-3) > 0.15 {
+		t.Fatalf("tail alpha %v want ~3", tail.Alpha)
+	}
+}
+
+func TestFitPowerLawTooFewPoints(t *testing.T) {
+	if _, err := FitPowerLaw([]int64{0, 5, 3}, 1); err == nil {
+		t.Fatal("expected error for too few points")
+	}
+}
+
+func TestPowerLawAlphaMLE(t *testing.T) {
+	// Sample from a discrete power law with alpha=2.5 via inverse transform
+	// on the continuous approximation.
+	rng := rand.New(rand.NewSource(11))
+	const alpha = 2.5
+	vals := make([]int64, 200000)
+	for i := range vals {
+		u := rng.Float64()
+		x := math.Pow(1-u, -1/(alpha-1)) // continuous Pareto with xmin=1
+		vals[i] = int64(x)
+		if vals[i] < 1 {
+			vals[i] = 1
+		}
+	}
+	// Truncating continuous samples to integers biases small values, so fit
+	// the tail only (xmin=6), where the continuous approximation is good.
+	got, err := PowerLawAlphaMLE(vals, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-alpha) > 0.2 {
+		t.Fatalf("MLE alpha %v want ~%v", got, alpha)
+	}
+}
+
+func TestPowerLawAlphaMLEErrors(t *testing.T) {
+	if _, err := PowerLawAlphaMLE([]int64{1}, 1); err == nil {
+		t.Fatal("expected error for single observation")
+	}
+	if _, err := PowerLawAlphaMLE([]int64{1, 1, 1}, 5); err == nil {
+		t.Fatal("expected error when everything is below xmin")
+	}
+}
+
+func TestLinearRegressionExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	slope, intercept, r2, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("slope=%v intercept=%v r2=%v", slope, intercept, r2)
+	}
+}
+
+func TestLinearRegressionDegenerate(t *testing.T) {
+	if _, _, _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("one point should error")
+	}
+	if _, _, _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	// Vertical data: sxx == 0.
+	slope, intercept, r2, err := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope != 0 || intercept != 2 || r2 != 0 {
+		t.Fatalf("degenerate fit slope=%v intercept=%v r2=%v", slope, intercept, r2)
+	}
+	// Horizontal data: syy == 0 means perfect fit.
+	_, _, r2, err = LinearRegression([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil || r2 != 1 {
+		t.Fatalf("horizontal r2=%v err=%v", r2, err)
+	}
+}

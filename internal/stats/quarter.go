@@ -1,0 +1,105 @@
+package stats
+
+import "fmt"
+
+// Quarter identifies a calendar quarter. The paper aggregates every time
+// series into quarters "for readability reasons"; the first quarter of the
+// dataset starts mid-quarter (18 Feb 2015) and is therefore partial.
+type Quarter struct {
+	Year int
+	Q    int // 1..4
+}
+
+// QuarterOf returns the quarter containing the given calendar month.
+func QuarterOf(year, month int) Quarter {
+	if month < 1 || month > 12 {
+		panic(fmt.Sprintf("stats: invalid month %d", month))
+	}
+	return Quarter{Year: year, Q: (month-1)/3 + 1}
+}
+
+// Index returns the number of quarters between base and q (0 when equal,
+// negative when q precedes base).
+func (q Quarter) Index(base Quarter) int {
+	return (q.Year-base.Year)*4 + (q.Q - base.Q)
+}
+
+// Next returns the quarter after q.
+func (q Quarter) Next() Quarter {
+	if q.Q == 4 {
+		return Quarter{Year: q.Year + 1, Q: 1}
+	}
+	return Quarter{Year: q.Year, Q: q.Q + 1}
+}
+
+// FirstMonth returns the first calendar month (1..12) of the quarter.
+func (q Quarter) FirstMonth() int { return (q.Q-1)*3 + 1 }
+
+// String renders the quarter as "2016Q3".
+func (q Quarter) String() string { return fmt.Sprintf("%dQ%d", q.Year, q.Q) }
+
+// QuarterRange enumerates the quarters from first to last inclusive.
+func QuarterRange(first, last Quarter) []Quarter {
+	if last.Index(first) < 0 {
+		return nil
+	}
+	out := make([]Quarter, 0, last.Index(first)+1)
+	for q := first; ; q = q.Next() {
+		out = append(out, q)
+		if q == last {
+			break
+		}
+	}
+	return out
+}
+
+// QuarterSeries is a numeric series indexed by quarter, with the base
+// quarter remembered so indices are self-describing.
+type QuarterSeries struct {
+	Base   Quarter
+	Values []float64
+}
+
+// NewQuarterSeries returns a series covering first..last inclusive,
+// initialized to zero.
+func NewQuarterSeries(first, last Quarter) *QuarterSeries {
+	n := last.Index(first) + 1
+	if n < 1 {
+		n = 1
+	}
+	return &QuarterSeries{Base: first, Values: make([]float64, n)}
+}
+
+// Add accumulates v into the bucket for quarter q; out-of-range quarters
+// clamp to the nearest end so partial boundary data is never dropped.
+func (s *QuarterSeries) Add(q Quarter, v float64) {
+	i := q.Index(s.Base)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.Values) {
+		i = len(s.Values) - 1
+	}
+	s.Values[i] += v
+}
+
+// Quarter returns the quarter labeling position i.
+func (s *QuarterSeries) Quarter(i int) Quarter {
+	q := s.Base
+	for j := 0; j < i; j++ {
+		q = q.Next()
+	}
+	return q
+}
+
+// Merge adds another series with the same geometry into s.
+func (s *QuarterSeries) Merge(o *QuarterSeries) error {
+	if o.Base != s.Base || len(o.Values) != len(s.Values) {
+		return fmt.Errorf("stats: merging incompatible quarter series %v x%d vs %v x%d",
+			s.Base, len(s.Values), o.Base, len(o.Values))
+	}
+	for i, v := range o.Values {
+		s.Values[i] += v
+	}
+	return nil
+}

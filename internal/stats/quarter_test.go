@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuarterOf(t *testing.T) {
+	cases := []struct {
+		month int
+		q     int
+	}{{1, 1}, {2, 1}, {3, 1}, {4, 2}, {6, 2}, {7, 3}, {9, 3}, {10, 4}, {12, 4}}
+	for _, c := range cases {
+		if got := QuarterOf(2015, c.month); got.Q != c.q {
+			t.Fatalf("month %d -> Q%d want Q%d", c.month, got.Q, c.q)
+		}
+	}
+	assertPanics(t, func() { QuarterOf(2015, 0) })
+	assertPanics(t, func() { QuarterOf(2015, 13) })
+}
+
+func TestQuarterIndexAndNext(t *testing.T) {
+	base := Quarter{2015, 1}
+	if got := (Quarter{2015, 1}).Index(base); got != 0 {
+		t.Fatalf("index %d", got)
+	}
+	if got := (Quarter{2016, 2}).Index(base); got != 5 {
+		t.Fatalf("index %d want 5", got)
+	}
+	if got := (Quarter{2014, 4}).Index(base); got != -1 {
+		t.Fatalf("index %d want -1", got)
+	}
+	if got := (Quarter{2015, 4}).Next(); got != (Quarter{2016, 1}) {
+		t.Fatalf("next %v", got)
+	}
+	if got := (Quarter{2015, 2}).Next(); got != (Quarter{2015, 3}) {
+		t.Fatalf("next %v", got)
+	}
+}
+
+func TestQuarterString(t *testing.T) {
+	if s := (Quarter{2016, 3}).String(); s != "2016Q3" {
+		t.Fatalf("string %q", s)
+	}
+	if m := (Quarter{2016, 3}).FirstMonth(); m != 7 {
+		t.Fatalf("first month %d", m)
+	}
+}
+
+func TestQuarterRange(t *testing.T) {
+	qs := QuarterRange(Quarter{2015, 1}, Quarter{2019, 4})
+	if len(qs) != 20 {
+		t.Fatalf("2015Q1..2019Q4 should be 20 quarters, got %d", len(qs))
+	}
+	if qs[0] != (Quarter{2015, 1}) || qs[19] != (Quarter{2019, 4}) {
+		t.Fatalf("endpoints %v %v", qs[0], qs[19])
+	}
+	if qs := QuarterRange(Quarter{2016, 1}, Quarter{2015, 4}); qs != nil {
+		t.Fatalf("reversed range should be nil, got %v", qs)
+	}
+}
+
+func TestQuarterRangeIndexRoundTrip(t *testing.T) {
+	f := func(yoff uint8, q1 uint8) bool {
+		base := Quarter{2015, 1}
+		q := Quarter{2015 + int(yoff%10), int(q1%4) + 1}
+		idx := q.Index(base)
+		// Walking idx steps from base must recover q.
+		w := base
+		for i := 0; i < idx; i++ {
+			w = w.Next()
+		}
+		return w == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuarterSeries(t *testing.T) {
+	s := NewQuarterSeries(Quarter{2015, 1}, Quarter{2015, 4})
+	if len(s.Values) != 4 {
+		t.Fatalf("len %d", len(s.Values))
+	}
+	s.Add(Quarter{2015, 2}, 3)
+	s.Add(Quarter{2014, 1}, 1) // clamps to first
+	s.Add(Quarter{2020, 1}, 2) // clamps to last
+	if s.Values[0] != 1 || s.Values[1] != 3 || s.Values[3] != 2 {
+		t.Fatalf("values %v", s.Values)
+	}
+	if got := s.Quarter(2); got != (Quarter{2015, 3}) {
+		t.Fatalf("quarter(2) = %v", got)
+	}
+}
+
+func TestQuarterSeriesMerge(t *testing.T) {
+	a := NewQuarterSeries(Quarter{2015, 1}, Quarter{2015, 2})
+	b := NewQuarterSeries(Quarter{2015, 1}, Quarter{2015, 2})
+	a.Add(Quarter{2015, 1}, 1)
+	b.Add(Quarter{2015, 2}, 2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Values[0] != 1 || a.Values[1] != 2 {
+		t.Fatalf("values %v", a.Values)
+	}
+	c := NewQuarterSeries(Quarter{2016, 1}, Quarter{2016, 2})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("mismatched base should fail")
+	}
+}

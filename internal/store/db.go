@@ -1,0 +1,215 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"gdeltmine/internal/gdelt"
+)
+
+// Meta carries dataset-level constants.
+type Meta struct {
+	// Start is the timestamp of capture interval 0.
+	Start gdelt.Timestamp
+	// Intervals is the number of 15-minute capture intervals covered.
+	Intervals int32
+}
+
+// EndExclusive returns the timestamp just past the archive end.
+func (m Meta) EndExclusive() gdelt.Timestamp {
+	return gdelt.IntervalStart(m.Start.IntervalIndex() + int64(m.Intervals))
+}
+
+// EventTable is the columnar Events table, sorted by GlobalEventID.
+type EventTable struct {
+	ID           []int64
+	Day          []int32 // recorded event day, YYYYMMDD
+	Interval     []int32 // event capture interval (from mention EventTimeDate)
+	Country      []int16 // index into gdelt.Countries, -1 untagged
+	NumArticles  []int32 // recounted from the mentions table at build time
+	FirstMention []int32 // capture interval of the earliest mention
+	SourceURL    []string
+}
+
+// Len returns the number of events.
+func (t *EventTable) Len() int { return len(t.ID) }
+
+// MentionTable is the columnar Mentions table, sorted by capture interval.
+type MentionTable struct {
+	EventRow   []int32 // row index into the event table
+	Source     []int32 // source dictionary id
+	Interval   []int32 // mention capture interval
+	Delay      []int32 // publishing delay in intervals (>= 1; 0 marks defects)
+	DocLen     []int32
+	Tone       []float32
+	Confidence []int8
+}
+
+// Len returns the number of mentions.
+func (t *MentionTable) Len() int { return len(t.EventRow) }
+
+// DB is the loaded, immutable in-memory database.
+type DB struct {
+	Meta     Meta
+	Sources  *Dictionary
+	Events   EventTable
+	Mentions MentionTable
+
+	// SourceCountry maps each source id to its TLD-attributed country index
+	// (into gdelt.Countries), or -1 when unattributable.
+	SourceCountry []int16
+
+	// bySource[s] lists mention rows of source s, ascending by interval.
+	bySourcePtr []int64
+	bySourceIdx []int32
+	// byEvent[e] lists mention rows of event row e, ascending by interval.
+	byEventPtr []int64
+	byEventIdx []int32
+
+	// quarterOfInterval maps a capture interval to a quarter index;
+	// quarterRow[q] is the first mention row of quarter q (mentions are
+	// interval-sorted), with a final sentinel row count.
+	quarterOfInterval []int16
+	quarterRow        []int64
+	quarters          int
+
+	// GKG holds the Global Knowledge Graph annotations, or nil when the
+	// dataset was converted without GKG files.
+	GKG *GKGStore
+
+	// Report records the defects observed while building (Table II).
+	Report *gdelt.ValidationReport
+}
+
+// NumQuarters returns the number of calendar quarters covered.
+func (db *DB) NumQuarters() int { return db.quarters }
+
+// QuarterOfInterval maps a capture interval to a quarter index. Intervals
+// outside the archive clamp to the nearest quarter.
+func (db *DB) QuarterOfInterval(iv int32) int {
+	if iv < 0 {
+		return 0
+	}
+	if int(iv) >= len(db.quarterOfInterval) {
+		return db.quarters - 1
+	}
+	return int(db.quarterOfInterval[iv])
+}
+
+// QuarterLabel renders quarter q as e.g. "2016Q3".
+func (db *DB) QuarterLabel(q int) string {
+	y, qq := db.quarterYearQ(q)
+	return fmt.Sprintf("%dQ%d", y, qq)
+}
+
+func (db *DB) quarterYearQ(q int) (year, quarter int) {
+	baseY := db.Meta.Start.Year()
+	baseQ := (db.Meta.Start.Month() - 1) / 3
+	abs := baseY*4 + baseQ + q
+	return abs / 4, abs%4 + 1
+}
+
+// QuarterMentionRange returns the half-open mention row range of quarter q.
+func (db *DB) QuarterMentionRange(q int) (lo, hi int64) {
+	return db.quarterRow[q], db.quarterRow[q+1]
+}
+
+// MentionRowRange returns the half-open row range of mentions captured in
+// [fromIv, toIv) — contiguous because the mention table is interval-sorted.
+// This is how the engine restricts scans to a time window without touching
+// rows outside it.
+func (db *DB) MentionRowRange(fromIv, toIv int32) (lo, hi int64) {
+	n := db.Mentions.Len()
+	lo = int64(sort.Search(n, func(i int) bool { return db.Mentions.Interval[i] >= fromIv }))
+	hi = int64(sort.Search(n, func(i int) bool { return db.Mentions.Interval[i] >= toIv }))
+	return lo, hi
+}
+
+// SourceMentions returns the mention rows of source s, ascending by
+// interval.
+func (db *DB) SourceMentions(s int32) []int32 {
+	return db.bySourceIdx[db.bySourcePtr[s]:db.bySourcePtr[s+1]]
+}
+
+// EventMentions returns the mention rows of event row e, ascending by
+// interval.
+func (db *DB) EventMentions(e int32) []int32 {
+	return db.byEventIdx[db.byEventPtr[e]:db.byEventPtr[e+1]]
+}
+
+// EventRowByID returns the event row for a GlobalEventID, or -1.
+func (db *DB) EventRowByID(id int64) int32 {
+	i := sort.Search(len(db.Events.ID), func(i int) bool { return db.Events.ID[i] >= id })
+	if i < len(db.Events.ID) && db.Events.ID[i] == id {
+		return int32(i)
+	}
+	return -1
+}
+
+// AssembleDB builds a DB from fully-populated, already-sorted tables: the
+// binary-format loader deserializes columns and hands them here so the
+// derived structures (postings, quarter index, source countries) are rebuilt
+// rather than stored. The tables are validated before use.
+func AssembleDB(meta Meta, sources *Dictionary, ev EventTable, mn MentionTable, report *gdelt.ValidationReport) (*DB, error) {
+	if report == nil {
+		report = &gdelt.ValidationReport{}
+	}
+	db := &DB{Meta: meta, Sources: sources, Events: ev, Mentions: mn, Report: report}
+	if meta.Intervals <= 0 {
+		return nil, fmt.Errorf("store: assembling db with %d intervals", meta.Intervals)
+	}
+	db.buildSourceCountries()
+	db.buildPostings()
+	db.buildQuarterIndex()
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Validate checks internal invariants; it is used by tests and after binary
+// loads. It is O(rows).
+func (db *DB) Validate() error {
+	ne, nm := db.Events.Len(), db.Mentions.Len()
+	if len(db.Events.Day) != ne || len(db.Events.Interval) != ne ||
+		len(db.Events.Country) != ne || len(db.Events.NumArticles) != ne ||
+		len(db.Events.FirstMention) != ne || len(db.Events.SourceURL) != ne {
+		return fmt.Errorf("store: event column lengths disagree")
+	}
+	if len(db.Mentions.Source) != nm || len(db.Mentions.Interval) != nm ||
+		len(db.Mentions.Delay) != nm || len(db.Mentions.DocLen) != nm ||
+		len(db.Mentions.Tone) != nm || len(db.Mentions.Confidence) != nm {
+		return fmt.Errorf("store: mention column lengths disagree")
+	}
+	for i := 1; i < ne; i++ {
+		if db.Events.ID[i] <= db.Events.ID[i-1] {
+			return fmt.Errorf("store: event ids not strictly increasing at row %d", i)
+		}
+	}
+	prev := int32(-1)
+	for i := 0; i < nm; i++ {
+		if db.Mentions.Interval[i] < prev {
+			return fmt.Errorf("store: mentions not interval-sorted at row %d", i)
+		}
+		prev = db.Mentions.Interval[i]
+		if e := db.Mentions.EventRow[i]; e < 0 || int(e) >= ne {
+			return fmt.Errorf("store: mention %d references event row %d of %d", i, e, ne)
+		}
+		if s := db.Mentions.Source[i]; s < 0 || int(s) >= db.Sources.Len() {
+			return fmt.Errorf("store: mention %d references source %d of %d", i, s, db.Sources.Len())
+		}
+	}
+	if len(db.SourceCountry) != db.Sources.Len() {
+		return fmt.Errorf("store: source country column length %d != %d", len(db.SourceCountry), db.Sources.Len())
+	}
+	if got := db.bySourcePtr[db.Sources.Len()]; got != int64(nm) {
+		return fmt.Errorf("store: source postings cover %d of %d mentions", got, nm)
+	}
+	if got := db.byEventPtr[ne]; got != int64(nm) {
+		return fmt.Errorf("store: event postings cover %d of %d mentions", got, nm)
+	}
+	if db.quarterRow[db.quarters] != int64(nm) {
+		return fmt.Errorf("store: quarter index covers %d of %d mentions", db.quarterRow[db.quarters], nm)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Package store implements the in-memory columnar database at the heart of
+// the system: dictionary-encoded Events and Mentions tables in
+// structure-of-arrays layout, postings indexes by source and by event, and
+// the capture-interval/quarter time index. After Build the store is strictly
+// read-only, the property Section IV exploits to query "much faster than a
+// standard database".
+package store
+
+import "fmt"
+
+// Dictionary interns strings and assigns dense int32 ids in first-seen
+// order. It is the string-dictionary encoding of the binary format: columns
+// hold ids, the dictionary holds each distinct value once.
+type Dictionary struct {
+	byName map[string]int32
+	names  []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byName: make(map[string]int32)}
+}
+
+// Intern returns the id for name, assigning the next id on first sight.
+func (d *Dictionary) Intern(name string) int32 {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := int32(len(d.names))
+	d.names = append(d.names, name)
+	d.byName[name] = id
+	return id
+}
+
+// Lookup returns the id for name, or -1 when absent.
+func (d *Dictionary) Lookup(name string) int32 {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// Name returns the string for an id. It panics on out-of-range ids, which
+// indicate a corrupted column.
+func (d *Dictionary) Name(id int32) string {
+	if id < 0 || int(id) >= len(d.names) {
+		panic(fmt.Sprintf("store: dictionary id %d out of range (%d entries)", id, len(d.names)))
+	}
+	return d.names[id]
+}
+
+// Len returns the number of distinct entries.
+func (d *Dictionary) Len() int { return len(d.names) }
+
+// Names returns the backing name slice (do not mutate).
+func (d *Dictionary) Names() []string { return d.names }
+
+// FromNames rebuilds a dictionary from a deserialized name list.
+func FromNames(names []string) (*Dictionary, error) {
+	d := &Dictionary{byName: make(map[string]int32, len(names)), names: names}
+	for i, n := range names {
+		if prev, dup := d.byName[n]; dup {
+			return nil, fmt.Errorf("store: duplicate dictionary entry %q (ids %d and %d)", n, prev, i)
+		}
+		d.byName[n] = int32(i)
+	}
+	return d, nil
+}

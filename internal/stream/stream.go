@@ -1,0 +1,208 @@
+// Package stream implements the real-time monitoring mode: a Monitor
+// consumes the GDELT feed chunk by chunk (the 15-minute update cycle) and
+// maintains incremental statistics plus a live digital-wildfire detector.
+// It is the streaming counterpart of the batch system — where Lu and
+// Szymanski (Section II) stream GDELT for viral-event prediction, this
+// monitor incrementally tracks exactly the quantities the batch queries
+// compute, so a live deployment can alert within one capture interval of a
+// wildfire igniting.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/stats"
+)
+
+// Config tunes the monitor.
+type Config struct {
+	// Window is the wildfire detection window in capture intervals: only
+	// articles within Window of the event ignition count toward an alert.
+	// Zero means 8 (two hours).
+	Window int32
+	// MinSources is the distinct-source threshold that fires an alert.
+	// Zero means 5.
+	MinSources int
+	// SlowThreshold classifies slow articles, in intervals. Zero means 96
+	// (the 24-hour cycle boundary of Figure 11).
+	SlowThreshold int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.MinSources == 0 {
+		c.MinSources = 5
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = gdelt.IntervalsPerDay
+	}
+	return c
+}
+
+// Alert is a fired wildfire alarm.
+type Alert struct {
+	// EventID is the global id of the igniting event.
+	EventID int64
+	// FiredAt is the capture interval at which the threshold was crossed.
+	FiredAt int32
+	// Sources is the distinct-source count at firing time (== MinSources).
+	Sources int
+}
+
+// PublisherCount pairs a source with its running article count.
+type PublisherCount struct {
+	Source   string
+	Articles int64
+}
+
+// Snapshot is the monitor's current aggregate state.
+type Snapshot struct {
+	// Interval is the latest capture interval observed.
+	Interval int32
+	// Events and Articles are running totals.
+	Events, Articles int64
+	// SlowArticles counts articles with delay above the slow threshold.
+	SlowArticles int64
+	// TrackedEvents is the number of events currently inside the wildfire
+	// horizon (a memory gauge).
+	TrackedEvents int
+	// ApproxMedianDelay is the running P² estimate of the median publishing
+	// delay in intervals (O(1) memory; NaN before any articles).
+	ApproxMedianDelay float64
+	// Alerts lists fired wildfire alarms in firing order.
+	Alerts []Alert
+}
+
+// eventState tracks one event inside the wildfire horizon.
+type eventState struct {
+	ignition int32
+	sources  map[string]struct{}
+	alerted  bool
+}
+
+// Monitor incrementally aggregates a time-ordered mention stream.
+type Monitor struct {
+	cfg  Config
+	base int64 // interval index of the archive start
+
+	now          int32
+	events       int64
+	articles     int64
+	slow         int64
+	medianDelay  *stats.P2Quantile
+	perSource    map[string]int64
+	tracked      map[int64]*eventState
+	alerts       []Alert
+	evictedUpTo  int32
+	streamBroken error
+}
+
+// NewMonitor returns a monitor for a feed starting at the given timestamp.
+func NewMonitor(start gdelt.Timestamp, cfg Config) *Monitor {
+	return &Monitor{
+		cfg:         cfg.withDefaults(),
+		base:        start.IntervalIndex(),
+		medianDelay: stats.NewP2Quantile(0.5),
+		perSource:   make(map[string]int64),
+		tracked:     make(map[int64]*eventState),
+	}
+}
+
+// ObserveEvent folds a newly published event row into the running totals.
+func (m *Monitor) ObserveEvent(ev *gdelt.Event) {
+	m.events++
+}
+
+// ObserveMention folds one article. Mentions must arrive in non-decreasing
+// capture-interval order (the natural order of the 15-minute feed); a
+// regression is reported as an error and the mention is dropped.
+func (m *Monitor) ObserveMention(mn *gdelt.Mention) error {
+	iv := int32(mn.MentionTime.IntervalIndex() - m.base)
+	if iv < m.now {
+		err := fmt.Errorf("stream: mention at interval %d after clock reached %d", iv, m.now)
+		m.streamBroken = err
+		return err
+	}
+	if iv > m.now {
+		m.advance(iv)
+	}
+	m.articles++
+	m.perSource[mn.SourceName]++
+	delay := mn.Delay()
+	m.medianDelay.Add(float64(delay))
+	if delay > m.cfg.SlowThreshold {
+		m.slow++
+	}
+
+	// Wildfire tracking: only articles within the window of the event's
+	// ignition count.
+	evIv := int32(mn.EventTime.IntervalIndex() - m.base)
+	if iv-evIv >= m.cfg.Window {
+		return nil
+	}
+	st, ok := m.tracked[mn.GlobalEventID]
+	if !ok {
+		st = &eventState{ignition: evIv, sources: make(map[string]struct{}, 4)}
+		m.tracked[mn.GlobalEventID] = st
+	}
+	st.sources[mn.SourceName] = struct{}{}
+	if !st.alerted && len(st.sources) >= m.cfg.MinSources {
+		st.alerted = true
+		m.alerts = append(m.alerts, Alert{EventID: mn.GlobalEventID, FiredAt: iv, Sources: len(st.sources)})
+	}
+	return nil
+}
+
+// advance moves the monitor clock forward and evicts events that fell out
+// of the wildfire horizon, bounding tracked state to the active window.
+func (m *Monitor) advance(iv int32) {
+	m.now = iv
+	cutoff := iv - m.cfg.Window
+	if cutoff <= m.evictedUpTo {
+		return
+	}
+	for id, st := range m.tracked {
+		if st.ignition < cutoff {
+			delete(m.tracked, id)
+		}
+	}
+	m.evictedUpTo = cutoff
+}
+
+// Snapshot returns the current aggregate state.
+func (m *Monitor) Snapshot() Snapshot {
+	return Snapshot{
+		Interval:          m.now,
+		Events:            m.events,
+		Articles:          m.articles,
+		SlowArticles:      m.slow,
+		TrackedEvents:     len(m.tracked),
+		ApproxMedianDelay: m.medianDelay.Value(),
+		Alerts:            append([]Alert(nil), m.alerts...),
+	}
+}
+
+// TopPublishers returns the k most productive sources observed so far.
+func (m *Monitor) TopPublishers(k int) []PublisherCount {
+	out := make([]PublisherCount, 0, len(m.perSource))
+	for s, n := range m.perSource {
+		out = append(out, PublisherCount{Source: s, Articles: n})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Articles != out[b].Articles {
+			return out[a].Articles > out[b].Articles
+		}
+		return out[a].Source < out[b].Source
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Err returns the first stream-order violation seen, if any.
+func (m *Monitor) Err() error { return m.streamBroken }
