@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race check bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector; the serve shutdown
+# hammer and the parallel/engine cancellation tests are the main targets.
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+fmt:
+	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

@@ -3,13 +3,22 @@
 // counterpart of the paper's planned Python interface. All endpoints are
 // read-only and safe for concurrent use.
 //
+// The server is hardened for unattended operation: per-request timeouts
+// cancel the engine scans of abandoned queries, a max-in-flight cap sheds
+// excess load with 503 instead of queueing it, panics surface as JSON 500s,
+// and SIGTERM/SIGINT drains in-flight requests before exiting (flipping
+// /readyz to 503 so load balancers stop routing first).
+//
 // Usage:
 //
-//	gdeltserve -db ./gdelt.gdmb -addr :8321
+//	gdeltserve -db ./gdelt.gdmb -addr :8321 [-request-timeout 30s]
+//	           [-max-inflight 64] [-shutdown-grace 15s]
 //
 // Endpoints (all GET, all accept workers=N, from=YYYYMMDDHHMMSS,
 // to=YYYYMMDDHHMMSS):
 //
+//	/healthz               liveness probe
+//	/readyz                readiness probe (503 while draining)
 //	/api/stats             Table I dataset statistics
 //	/api/defects           Table II defect counts
 //	/api/top-publishers    most productive sources       ?k=10
@@ -25,11 +34,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gdeltmine/internal/binfmt"
@@ -41,8 +53,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gdeltserve: ")
 	var (
-		dbPath = flag.String("db", "", "binary database path (required)")
-		addr   = flag.String("addr", ":8321", "listen address")
+		dbPath     = flag.String("db", "", "binary database path (required)")
+		addr       = flag.String("addr", ":8321", "listen address")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline; 0 disables")
+		maxFlight  = flag.Int("max-inflight", 64, "max concurrent requests before shedding with 503; 0 disables")
+		grace      = flag.Duration("shutdown-grace", 15*time.Second, "time allowed for in-flight requests to drain on SIGTERM")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -56,6 +71,36 @@ func main() {
 	}
 	fmt.Printf("loaded %s articles from %s in %v\n",
 		report.Int(int64(db.Mentions.Len())), *dbPath, time.Since(start).Round(time.Millisecond))
+
+	srv := serve.NewWithConfig(db, serve.Config{
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxFlight,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("serving on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, serve.New(db)))
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising readiness, then give in-flight
+	// requests up to -shutdown-grace to complete.
+	log.Print("shutdown signal received, draining")
+	srv.SetReady(false)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("drain incomplete after %v: %v (%d requests still in flight)",
+			*grace, err, srv.InFlight())
+		os.Exit(1)
+	}
+	log.Print("drained cleanly")
 }

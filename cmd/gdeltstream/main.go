@@ -6,25 +6,42 @@
 // ignition, the latency that matters when tracking fast-spreading
 // misinformation.
 //
+// The replay is fault-tolerant: transient chunk reads are retried with
+// backoff, chunks that stay unreadable are reported as gaps, and late
+// mentions inside -grace intervals are folded in without breaking feed
+// order. With -checkpoint the monitor state is persisted so a restarted
+// replay resumes from where it stopped, consuming only unseen chunks.
+//
 // Usage:
 //
-//	gdeltstream -in ./dataset [-window 8] [-min 5] [-progress 10000]
+//	gdeltstream -in ./dataset [-window 8] [-min 5] [-grace 8] [-retries 5]
+//	            [-checkpoint state.json] [-progress 10000]
+//
+// Exit codes: 0 success, 1 fatal error (or interrupted), 2 usage,
+// 3 replay finished with unresolved missing intervals.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
 	"time"
 
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/gen"
+	"gdeltmine/internal/ingest"
 	"gdeltmine/internal/report"
+	"gdeltmine/internal/retry"
 	"gdeltmine/internal/stream"
 )
 
@@ -35,6 +52,9 @@ func main() {
 		in       = flag.String("in", "", "raw dataset directory (required)")
 		window   = flag.Int("window", 8, "wildfire window in 15-minute intervals")
 		minSrc   = flag.Int("min", 5, "distinct sources that trigger an alert")
+		grace    = flag.Int("grace", 8, "intervals of clock regression tolerated for late chunks")
+		retries  = flag.Int("retries", 5, "chunk read attempts before declaring a gap")
+		ckptPath = flag.String("checkpoint", "", "persist monitor state here and resume from it if present")
 		progress = flag.Int("progress", 100000, "print a snapshot every N articles (0 disables)")
 	)
 	flag.Parse()
@@ -42,6 +62,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	f, err := os.Open(filepath.Join(*in, gen.MasterFileName))
 	if err != nil {
@@ -53,7 +76,11 @@ func main() {
 		log.Fatal(err)
 	}
 	// Feed order: mentions chunks by interval.
-	var chunks []gdelt.MasterEntry
+	type feedChunk struct {
+		entry gdelt.MasterEntry
+		ts    gdelt.Timestamp
+	}
+	var chunks []feedChunk
 	var first gdelt.Timestamp
 	for _, e := range ml.Entries {
 		iv, err := e.Interval()
@@ -64,20 +91,67 @@ func main() {
 			first = iv
 		}
 		if e.Kind() == "mentions" {
-			chunks = append(chunks, e)
+			chunks = append(chunks, feedChunk{entry: e, ts: iv})
 		}
 	}
-	sort.Slice(chunks, func(a, b int) bool { return chunks[a].Path < chunks[b].Path })
+	sort.Slice(chunks, func(a, b int) bool { return chunks[a].entry.Path < chunks[b].entry.Path })
 
-	mon := stream.NewMonitor(first, stream.Config{Window: int32(*window), MinSources: *minSrc})
+	cfg := stream.Config{
+		Window:         int32(*window),
+		MinSources:     *minSrc,
+		GraceIntervals: int32(*grace),
+	}
+	mon := stream.NewMonitor(first, cfg)
+	resumed := 0
+	if *ckptPath != "" {
+		cp, err := stream.ReadCheckpointFile(*ckptPath)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// First run: nothing to resume.
+		case err != nil:
+			log.Fatal(err)
+		default:
+			mon, err = stream.FromCheckpoint(cp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			resumed = 1
+		}
+	}
+
+	pol := retry.DefaultPolicy()
+	pol.MaxAttempts = *retries
+	reader := &ingest.Reader{Src: ingest.Dir(*in), Retry: pol}
+
 	start := time.Now()
 	var fields [][]byte
-	alertsSeen := 0
+	alertsSeen := len(mon.Snapshot().Alerts)
+	skipped, unreadable := 0, 0
+	interrupted := false
+feed:
 	for _, chunk := range chunks {
-		data, err := os.ReadFile(filepath.Join(*in, chunk.Path))
-		if err != nil {
-			continue // missing archives are part of life
+		if ctx.Err() != nil {
+			interrupted = true
+			break
 		}
+		if resumed > 0 && mon.SeenChunk(chunk.ts) {
+			skipped++
+			continue
+		}
+		data, err := reader.Read(ctx, chunk.entry)
+		var ce *ingest.ChecksumError
+		switch {
+		case errors.As(err, &ce):
+			// Damaged but present: parse what survived, the gap is closed.
+		case errors.Is(err, context.Canceled):
+			interrupted = true
+			break feed
+		case err != nil:
+			unreadable++
+			log.Printf("chunk %s unreadable after %d attempts: %v", chunk.entry.Path, *retries, err)
+			continue // the interval stays unmarked and shows up as a gap
+		}
+		mon.MarkChunk(chunk.ts)
 		for len(data) > 0 {
 			var line []byte
 			if i := bytes.IndexByte(data, '\n'); i >= 0 {
@@ -108,13 +182,44 @@ func main() {
 			}
 		}
 	}
+
+	if *ckptPath != "" {
+		if err := mon.Checkpoint().WriteFile(*ckptPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if interrupted {
+		if *ckptPath != "" {
+			log.Printf("interrupted; state saved to %s — rerun to resume", *ckptPath)
+		} else {
+			log.Print("interrupted")
+		}
+		os.Exit(1)
+	}
+
 	snap := mon.Snapshot()
 	top := mon.TopPublishers(5)
-	fmt.Printf("\nreplayed %s articles in %v: %s slow (>24h), %d wildfire alerts\n",
+	fmt.Printf("\nreplayed %s articles in %v: %s slow (>24h), %s late, %d wildfire alerts\n",
 		report.Int(snap.Articles), time.Since(start).Round(time.Millisecond),
-		report.Int(snap.SlowArticles), len(snap.Alerts))
+		report.Int(snap.SlowArticles), report.Int(snap.LateArticles), len(snap.Alerts))
+	if skipped > 0 {
+		fmt.Printf("resumed from checkpoint: %d chunks already consumed\n", skipped)
+	}
 	fmt.Println("most productive sources so far:")
 	for i, p := range top {
 		fmt.Printf("  %d. %-32s %s articles\n", i+1, p.Source, report.Int(p.Articles))
+	}
+
+	if gaps := mon.Gaps(); len(gaps) > 0 {
+		fmt.Printf("\nWARNING: replay ended with %d unresolved missing intervals (%d chunks unreadable):\n",
+			len(gaps), unreadable)
+		for i, g := range gaps {
+			if i == 10 {
+				fmt.Printf("  ... and %d more\n", len(gaps)-10)
+				break
+			}
+			fmt.Printf("  %s\n", g)
+		}
+		os.Exit(3)
 	}
 }

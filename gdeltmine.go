@@ -21,6 +21,8 @@
 package gdeltmine
 
 import (
+	"context"
+
 	"gdeltmine/internal/baseline"
 	"gdeltmine/internal/binfmt"
 	"gdeltmine/internal/convert"
@@ -129,6 +131,9 @@ type Dataset struct {
 	eng *engine.Engine
 	// Build reports what conversion ingested and dropped.
 	Build BuildStats
+	// Quarantined lists master-listed chunks the conversion completed
+	// without (permanent read failures past the retry budget).
+	Quarantined []QuarantinedChunk
 }
 
 func newDataset(db *store.DB, stats BuildStats) *Dataset {
@@ -138,11 +143,32 @@ func newDataset(db *store.DB, stats BuildStats) *Dataset {
 // ConvertRaw reads a raw GDELT dataset directory (master file list plus
 // chunk files), cleans and validates it, and builds the in-memory store.
 func ConvertRaw(dir string) (*Dataset, error) {
-	res, err := convert.FromRawDir(dir)
+	return ConvertRawOpts(context.Background(), dir, ConvertOptions{})
+}
+
+// ConvertOptions configures a resilient conversion: the chunk source, the
+// transient-failure retry schedule, and the quarantine budget.
+type ConvertOptions = convert.Options
+
+// QuarantinedChunk records a chunk the conversion completed without.
+type QuarantinedChunk = convert.QuarantinedChunk
+
+// ErrTooManyQuarantined is returned (wrapped) when the quarantined chunk
+// fraction exceeds ConvertOptions.MaxQuarantineFrac.
+var ErrTooManyQuarantined = convert.ErrTooManyQuarantined
+
+// ConvertRawOpts is ConvertRaw with explicit failure handling: transient
+// chunk-read errors are retried, permanent ones quarantine the chunk and
+// the build degrades gracefully unless the damage exceeds
+// opts.MaxQuarantineFrac. Cancelling ctx stops the conversion.
+func ConvertRawOpts(ctx context.Context, dir string, opts ConvertOptions) (*Dataset, error) {
+	res, err := convert.FromRawDirOpts(ctx, dir, opts)
 	if err != nil {
 		return nil, err
 	}
-	return newDataset(res.DB, res.Stats), nil
+	ds := newDataset(res.DB, res.Stats)
+	ds.Quarantined = res.Quarantined
+	return ds, nil
 }
 
 // BuildDataset builds the in-memory store directly from a synthetic corpus,

@@ -8,14 +8,30 @@ package convert
 import (
 	"bufio"
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/gen"
+	"gdeltmine/internal/ingest"
+	"gdeltmine/internal/retry"
 	"gdeltmine/internal/store"
 )
+
+// QuarantinedChunk records one master-listed chunk that could not be
+// ingested: the build went on without it, tallying it here and in the
+// Table II defect report.
+type QuarantinedChunk struct {
+	// Path is the chunk path from the master list.
+	Path string
+	// Class is the defect class the failure was filed under.
+	Class gdelt.DefectClass
+	// Reason is the underlying error text.
+	Reason string
+}
 
 // Result is the outcome of a conversion.
 type Result struct {
@@ -23,6 +39,49 @@ type Result struct {
 	Stats store.BuildStats
 	// Chunks is the number of chunk files successfully read.
 	Chunks int
+	// Quarantined lists the chunks the build completed without.
+	Quarantined []QuarantinedChunk
+}
+
+// QuarantineFrac is the fraction of master-listed chunks that quarantined.
+func (r *Result) QuarantineFrac() float64 {
+	total := r.Chunks + len(r.Quarantined)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(r.Quarantined)) / float64(total)
+}
+
+// ErrTooManyQuarantined is wrapped by FromRawDirOpts when the quarantined
+// chunk fraction exceeds Options.MaxQuarantineFrac: the dataset is too
+// damaged for a partial build to be meaningful.
+var ErrTooManyQuarantined = errors.New("convert: quarantined chunk fraction exceeds threshold")
+
+// Options configures a resilient conversion.
+type Options struct {
+	// Source supplies chunk bytes. Nil means reading from the dataset
+	// directory.
+	Source ingest.Source
+	// Retry is the transient-failure retry schedule. The zero value means
+	// retry.DefaultPolicy().
+	Retry retry.Policy
+	// MaxQuarantineFrac aborts the build with ErrTooManyQuarantined when
+	// more than this fraction of master-listed chunks quarantine. Zero
+	// means 1.0: always degrade gracefully, never abort.
+	MaxQuarantineFrac float64
+}
+
+func (o Options) withDefaults(dir string) Options {
+	if o.Source == nil {
+		o.Source = ingest.Dir(dir)
+	}
+	if o.Retry.MaxAttempts == 0 {
+		o.Retry = retry.DefaultPolicy()
+	}
+	if o.MaxQuarantineFrac == 0 {
+		o.MaxQuarantineFrac = 1
+	}
+	return o
 }
 
 // FromRawDir reads the raw dataset under dir and builds the store. The span
@@ -30,6 +89,18 @@ type Result struct {
 // the way are recorded in the returned DB's Report, reproducing the Table II
 // accounting.
 func FromRawDir(dir string) (*Result, error) {
+	return FromRawDirOpts(context.Background(), dir, Options{})
+}
+
+// FromRawDirOpts is FromRawDir with failure handling under the caller's
+// control: chunk reads go through opts.Source with transient errors retried
+// per opts.Retry, permanent failures quarantine the chunk (the build
+// completes partially, with the loss accounted in Result.Quarantined and
+// the defect report), and a damage level above opts.MaxQuarantineFrac
+// aborts with ErrTooManyQuarantined. Cancelling ctx stops the build between
+// chunks.
+func FromRawDirOpts(ctx context.Context, dir string, opts Options) (*Result, error) {
+	opts = opts.withDefaults(dir)
 	f, err := os.Open(filepath.Join(dir, gen.MasterFileName))
 	if err != nil {
 		return nil, fmt.Errorf("convert: opening master list: %w", err)
@@ -57,21 +128,49 @@ func FromRawDir(dir string) (*Result, error) {
 		report.Record(gdelt.DefectMalformedMasterEntry, line)
 	}
 
+	reader := &ingest.Reader{Src: opts.Source, Retry: opts.Retry}
 	res := &Result{}
+	quarantine := func(entry gdelt.MasterEntry, class gdelt.DefectClass, err error) {
+		report.Record(class, entry.Path)
+		res.Quarantined = append(res.Quarantined, QuarantinedChunk{Path: entry.Path, Class: class, Reason: err.Error()})
+	}
+	seen := make(map[string]bool, len(ml.Entries))
 	for _, entry := range ml.Entries {
-		data, err := os.ReadFile(filepath.Join(dir, entry.Path))
-		if err != nil {
-			report.Record(gdelt.DefectMissingArchive, entry.Path)
-			continue
-		}
-		if int64(len(data)) != entry.Size || gdelt.Checksum32(data) != entry.Checksum {
-			report.Record(gdelt.DefectChecksumMismatch, entry.Path)
-			// Parse it anyway; the checksum defect is informational.
-		}
-		if err := ingestChunk(b, entry.Kind(), entry.Path, data); err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if seen[entry.Path] {
+			// A path listed twice would double-ingest its rows; keep the
+			// first occurrence and file the repeat as a malformed entry.
+			report.Record(gdelt.DefectMalformedMasterEntry, "duplicate master entry: "+entry.Path)
+			continue
+		}
+		seen[entry.Path] = true
+		data, err := reader.Read(ctx, entry)
+		var ce *ingest.ChecksumError
+		switch {
+		case errors.As(err, &ce):
+			report.Record(gdelt.DefectChecksumMismatch, entry.Path)
+			// Parse it anyway; the checksum defect is informational and
+			// covers truncated and corrupted deliveries too.
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return nil, err
+		case err != nil:
+			// Permanently absent, unreadable, or transient past the retry
+			// budget: quarantine and degrade.
+			quarantine(entry, gdelt.DefectMissingArchive, err)
+			continue
+		}
+		if err := ingestChunk(b, entry.Kind(), entry.Path, data); err != nil {
+			quarantine(entry, gdelt.DefectBadRow, err)
+			continue
+		}
 		res.Chunks++
+	}
+	if frac := res.QuarantineFrac(); frac > opts.MaxQuarantineFrac {
+		return nil, fmt.Errorf("%w: %d of %d chunks (%.1f%% > %.1f%%)",
+			ErrTooManyQuarantined, len(res.Quarantined), res.Chunks+len(res.Quarantined),
+			frac*100, opts.MaxQuarantineFrac*100)
 	}
 
 	db, stats, err := b.Finish()

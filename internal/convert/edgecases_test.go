@@ -1,0 +1,172 @@
+package convert
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/gen"
+)
+
+// TestEmptyChunkFile: a master-listed chunk of zero bytes is a valid
+// (if vacuous) delivery — no defects, no rows, no crash.
+func TestEmptyChunkFile(t *testing.T) {
+	dir := t.TempDir()
+	name := "20150218000000.export.csv"
+	if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	master := gdelt.FormatMasterEntry(gdelt.MasterEntry{Size: 0, Checksum: gdelt.Checksum32(nil), Path: name}) + "\n"
+	if err := os.WriteFile(filepath.Join(dir, gen.MasterFileName), []byte(master), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info := "start 20150218000000\nintervals 96\n"
+	if err := os.WriteFile(filepath.Join(dir, gen.InfoFileName), []byte(info), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks != 1 || len(res.Quarantined) != 0 {
+		t.Fatalf("chunks %d quarantined %d", res.Chunks, len(res.Quarantined))
+	}
+	if res.DB.Events.Len() != 0 || res.DB.Report.Total() != 0 {
+		t.Fatalf("events %d defects %d want 0", res.DB.Events.Len(), res.DB.Report.Total())
+	}
+}
+
+// TestTruncatedFinalLine: a chunk whose last row lacks the trailing
+// newline must still contribute every row.
+func TestTruncatedFinalLine(t *testing.T) {
+	dir, _ := cleanDataset(t)
+	baseline, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := readMaster(t, dir)
+	// Strip the trailing newline from one mentions chunk and keep the
+	// master list consistent with the new bytes.
+	var victim int = -1
+	for i, e := range ml.Entries {
+		if e.Kind() == "mentions" && e.Size > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no nonempty mentions chunk")
+	}
+	path := filepath.Join(dir, ml.Entries[victim].Path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = bytes.TrimSuffix(data, []byte("\n"))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ml.Entries[victim].Size = int64(len(data))
+	ml.Entries[victim].Checksum = gdelt.Checksum32(data)
+	f, err := os.Create(filepath.Join(dir, gen.MasterFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gdelt.WriteMasterList(f, ml); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	res, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DB.Mentions.Len() != baseline.DB.Mentions.Len() {
+		t.Fatalf("mentions %d want %d: the final unterminated row was lost",
+			res.DB.Mentions.Len(), baseline.DB.Mentions.Len())
+	}
+	if got := res.DB.Report.Counts[gdelt.DefectChecksumMismatch]; got != 0 {
+		t.Fatalf("checksum defects %d want 0", got)
+	}
+}
+
+// TestDuplicateMasterEntries: a path listed twice is ingested once and the
+// repeat is filed as a malformed master entry — no double counting.
+func TestDuplicateMasterEntries(t *testing.T) {
+	dir, _ := cleanDataset(t)
+	baseline, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := readMaster(t, dir)
+	dup := gdelt.FormatMasterEntry(ml.Entries[0]) + "\n" + gdelt.FormatMasterEntry(ml.Entries[1]) + "\n"
+	f, err := os.OpenFile(filepath.Join(dir, gen.MasterFileName), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(dup); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	res, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DB.Mentions.Len() != baseline.DB.Mentions.Len() || res.DB.Events.Len() != baseline.DB.Events.Len() {
+		t.Fatalf("rows changed: %d/%d mentions, %d/%d events",
+			res.DB.Mentions.Len(), baseline.DB.Mentions.Len(), res.DB.Events.Len(), baseline.DB.Events.Len())
+	}
+	if got := res.DB.Report.Counts[gdelt.DefectMalformedMasterEntry]; got != 2 {
+		t.Fatalf("malformed-master count %d want 2", got)
+	}
+	found := false
+	for _, ex := range res.DB.Report.Examples[gdelt.DefectMalformedMasterEntry] {
+		if strings.Contains(ex, "duplicate master entry") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("duplicate entries should be identifiable in the defect examples")
+	}
+}
+
+// TestMasterEntryIsDirectory: a master entry whose path is a directory is
+// a permanent read failure — quarantined, never fatal.
+func TestMasterEntryIsDirectory(t *testing.T) {
+	dir, _ := cleanDataset(t)
+	baseline, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "20150301000000.export.csv"
+	if err := os.Mkdir(filepath.Join(dir, name), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entry := gdelt.FormatMasterEntry(gdelt.MasterEntry{Size: 0, Checksum: gdelt.Checksum32(nil), Path: name}) + "\n"
+	f, err := os.OpenFile(filepath.Join(dir, gen.MasterFileName), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(entry); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	res, err := FromRawDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 1 || res.Quarantined[0].Path != name {
+		t.Fatalf("quarantined %+v", res.Quarantined)
+	}
+	if res.Quarantined[0].Class != gdelt.DefectMissingArchive {
+		t.Fatalf("class %v", res.Quarantined[0].Class)
+	}
+	if res.DB.Mentions.Len() != baseline.DB.Mentions.Len() {
+		t.Fatal("healthy chunks must be unaffected")
+	}
+}

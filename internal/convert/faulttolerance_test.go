@@ -1,0 +1,176 @@
+package convert
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gdeltmine/internal/faults"
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/gen"
+	"gdeltmine/internal/ingest"
+	"gdeltmine/internal/retry"
+)
+
+// cleanDataset writes a Small corpus with gen's own defect injection off,
+// so every defect the conversion reports was injected by this test.
+func cleanDataset(t testing.TB) (dir string, c *gen.Corpus) {
+	t.Helper()
+	cfg := gen.Small()
+	cfg.DefectMalformedMaster = 0
+	cfg.DefectMissingArchives = 0
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir = t.TempDir()
+	if _, err := gen.WriteRaw(c, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, c
+}
+
+func readMaster(t testing.TB, dir string) *gdelt.MasterList {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, gen.MasterFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ml, err := gdelt.ReadMasterList(bufio.NewReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ml
+}
+
+func instantRetry(attempts int) retry.Policy {
+	return retry.Policy{MaxAttempts: attempts, Seed: 1,
+		Sleep: func(ctx context.Context, d time.Duration) error { return ctx.Err() }}
+}
+
+// TestFromRawDirOptsUnderInjectedFaults is the end-to-end fault drill:
+// a dataset is converted through an injector that makes one chunk vanish,
+// one truncate, one corrupt, one fail transiently and one arrive late.
+// Transient and delayed chunks must be retried to success, the missing one
+// must quarantine with the build completing partially, and the damaged
+// ones must land in the Table II checksum tally.
+func TestFromRawDirOptsUnderInjectedFaults(t *testing.T) {
+	dir, _ := cleanDataset(t)
+	ml := readMaster(t, dir)
+	if len(ml.Entries) < 5 {
+		t.Fatalf("need at least 5 chunks, have %d", len(ml.Entries))
+	}
+	plan := map[string]faults.Fault{
+		ml.Entries[0].Path: faults.Transient,
+		ml.Entries[1].Path: faults.Missing,
+		ml.Entries[2].Path: faults.Truncated,
+		ml.Entries[3].Path: faults.Corrupted,
+		ml.Entries[4].Path: faults.Delayed,
+	}
+	inj := faults.New(ingest.Dir(dir), faults.Config{Seed: 7, Plan: plan, FailCount: 2})
+	res, err := FromRawDirOpts(context.Background(), dir, Options{
+		Source: inj,
+		Retry:  instantRetry(4), // budget covers FailCount=2
+	})
+	if err != nil {
+		t.Fatalf("build must degrade gracefully, got %v", err)
+	}
+	report := res.DB.Report
+
+	// Exactly the missing chunk quarantined; everything else made it in.
+	if len(res.Quarantined) != 1 {
+		t.Fatalf("quarantined %+v want exactly the missing chunk", res.Quarantined)
+	}
+	q := res.Quarantined[0]
+	if q.Path != ml.Entries[1].Path || q.Class != gdelt.DefectMissingArchive {
+		t.Fatalf("quarantine %+v", q)
+	}
+	if res.Chunks != len(ml.Entries)-1 {
+		t.Fatalf("chunks %d want %d", res.Chunks, len(ml.Entries)-1)
+	}
+	if got := report.Counts[gdelt.DefectMissingArchive]; got != 1 {
+		t.Fatalf("missing-archive count %d want 1", got)
+	}
+
+	// Transient and delayed errors were retried to success: the injector
+	// saw its failures consumed, and neither chunk quarantined.
+	stats := inj.Stats()
+	if stats[faults.Transient] != 2 || stats[faults.Delayed] != 2 {
+		t.Fatalf("injector stats %v: want both flaky chunks to fail twice then heal", stats)
+	}
+
+	// Truncation and corruption land in the checksum tally, and their
+	// surviving rows were still parsed.
+	if got := report.Counts[gdelt.DefectChecksumMismatch]; got != 2 {
+		t.Fatalf("checksum mismatches %d want 2 (truncated + corrupted)", got)
+	}
+	if res.DB.Mentions.Len() == 0 || res.DB.Events.Len() == 0 {
+		t.Fatal("partial build is empty")
+	}
+	if err := res.DB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFromRawDirOptsRetryBudgetExhaustion: a chunk that stays transient
+// past the retry budget quarantines instead of aborting the build.
+func TestFromRawDirOptsRetryBudgetExhaustion(t *testing.T) {
+	dir, _ := cleanDataset(t)
+	ml := readMaster(t, dir)
+	inj := faults.New(ingest.Dir(dir), faults.Config{
+		Plan:      map[string]faults.Fault{ml.Entries[0].Path: faults.Transient},
+		FailCount: 100, // never heals within any sane budget
+	})
+	res, err := FromRawDirOpts(context.Background(), dir, Options{Source: inj, Retry: instantRetry(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 1 || res.Quarantined[0].Path != ml.Entries[0].Path {
+		t.Fatalf("quarantined %+v", res.Quarantined)
+	}
+}
+
+func TestFromRawDirOptsQuarantineThreshold(t *testing.T) {
+	dir, _ := cleanDataset(t)
+	ml := readMaster(t, dir)
+	// Vanish half the archive, then ask for at most 10% damage.
+	plan := make(map[string]faults.Fault)
+	for i, e := range ml.Entries {
+		if i%2 == 0 {
+			plan[e.Path] = faults.Missing
+		}
+	}
+	inj := faults.New(ingest.Dir(dir), faults.Config{Plan: plan})
+	_, err := FromRawDirOpts(context.Background(), dir, Options{
+		Source: inj, Retry: instantRetry(1), MaxQuarantineFrac: 0.1,
+	})
+	if !errors.Is(err, ErrTooManyQuarantined) {
+		t.Fatalf("err %v want ErrTooManyQuarantined", err)
+	}
+	// The same damage under the default threshold degrades gracefully.
+	res, err := FromRawDirOpts(context.Background(), dir,
+		Options{Source: faults.New(ingest.Dir(dir), faults.Config{Plan: plan}), Retry: instantRetry(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != len(plan) {
+		t.Fatalf("quarantined %d want %d", len(res.Quarantined), len(plan))
+	}
+	if res.QuarantineFrac() < 0.4 || res.QuarantineFrac() > 0.6 {
+		t.Fatalf("frac %v", res.QuarantineFrac())
+	}
+}
+
+func TestFromRawDirOptsContextCancel(t *testing.T) {
+	dir, _ := cleanDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FromRawDirOpts(ctx, dir, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v want Canceled", err)
+	}
+}

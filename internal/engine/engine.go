@@ -7,6 +7,7 @@ package engine
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"gdeltmine/internal/matrix"
@@ -19,6 +20,7 @@ import (
 type Engine struct {
 	db      *store.DB
 	workers int
+	ctx     context.Context
 	// Mention-row window [rowLo, rowHi); rowHi == 0 means the full table.
 	rowLo, rowHi int64
 }
@@ -31,6 +33,17 @@ func New(db *store.DB) *Engine { return &Engine{db: db} }
 func (e *Engine) WithWorkers(n int) *Engine {
 	cp := *e
 	cp.workers = n
+	return &cp
+}
+
+// WithContext returns a copy of the engine whose scans observe ctx: workers
+// stop claiming work once ctx is cancelled, bounding the latency of an
+// abandoned query (e.g. an HTTP client that hung up) to one scan grain. A
+// cancelled scan returns a partial aggregate — callers that surface results
+// must check ctx.Err() afterwards.
+func (e *Engine) WithContext(ctx context.Context) *Engine {
+	cp := *e
+	cp.ctx = ctx
 	return &cp
 }
 
@@ -76,9 +89,15 @@ func (e *Engine) Workers() int {
 	return parallel.DefaultWorkers()
 }
 
-func (e *Engine) opt() parallel.Options {
-	return parallel.Options{Workers: e.workers}
+// ScanOptions returns the parallel options scan kernels should run under:
+// the engine's worker count plus its cancellation context. Query packages
+// building their own parallel loops use this instead of raw Options so
+// request cancellation reaches every kernel.
+func (e *Engine) ScanOptions() parallel.Options {
+	return parallel.Options{Workers: e.workers, Context: e.ctx}
 }
+
+func (e *Engine) opt() parallel.Options { return e.ScanOptions() }
 
 // CountMentions counts mention rows in the window satisfying pred.
 func (e *Engine) CountMentions(pred func(row int) bool) int64 {

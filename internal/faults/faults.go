@@ -1,0 +1,200 @@
+// Package faults is a deterministic, seedable fault injector for the I/O
+// layer of the pipeline — distinct from internal/gen's data-defect
+// injector, which corrupts the *content* of an otherwise healthy dataset.
+// This package corrupts the *delivery*: chunks go missing, arrive
+// truncated, fail transiently EAGAIN-style, come back with flipped bytes,
+// or show up late, reproducing the feed failures the paper reports around
+// Table II. It wraps any ingest.Source, so the exact same conversion or
+// stream-replay code runs against a healthy directory and a hostile one.
+package faults
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"math/rand"
+	"sync"
+
+	"gdeltmine/internal/ingest"
+	"gdeltmine/internal/retry"
+)
+
+// Fault enumerates the injectable delivery failures.
+type Fault int
+
+const (
+	// None delivers the chunk untouched.
+	None Fault = iota
+	// Missing makes the chunk permanently absent (fs.ErrNotExist).
+	Missing
+	// Truncated delivers only a prefix of the chunk.
+	Truncated
+	// Transient fails the first FailCount reads with a retryable
+	// EAGAIN-style error, then delivers the chunk intact.
+	Transient
+	// Corrupted delivers the chunk with bytes flipped (checksum breaks).
+	Corrupted
+	// Delayed makes the chunk look not-yet-published (retryable
+	// not-found) for the first FailCount reads, then delivers it — the
+	// late-interval failure mode of the live 15-minute feed.
+	Delayed
+)
+
+var faultNames = map[Fault]string{
+	None: "none", Missing: "missing", Truncated: "truncated",
+	Transient: "transient", Corrupted: "corrupted", Delayed: "delayed",
+}
+
+func (f Fault) String() string {
+	if s, ok := faultNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("Fault(%d)", int(f))
+}
+
+// Config assigns faults to chunk paths. Explicit Plan entries win; paths
+// without one draw a fault from the probability fields using a hash of
+// (Seed, path), so the assignment is deterministic, order-independent and
+// stable across runs.
+type Config struct {
+	// Seed drives every pseudo-random choice. Zero is a valid seed.
+	Seed int64
+	// Plan pins specific paths to specific faults.
+	Plan map[string]Fault
+	// MissingProb, TruncatedProb, TransientProb, CorruptedProb and
+	// DelayedProb are per-path probabilities in [0, 1]; they are examined
+	// in that order against one uniform draw, so their sum should stay
+	// at or below 1.
+	MissingProb, TruncatedProb, TransientProb, CorruptedProb, DelayedProb float64
+	// FailCount is how many reads a Transient or Delayed chunk fails
+	// before succeeding. Zero means 2.
+	FailCount int
+	// TruncateFrac is the fraction of bytes kept by Truncated. Zero
+	// means 0.5.
+	TruncateFrac float64
+}
+
+// Injector wraps an ingest.Source and injects the configured faults.
+type Injector struct {
+	cfg  Config
+	src  ingest.Source
+	mu   sync.Mutex
+	seen map[string]int // per-path read attempts, for Transient/Delayed
+	hits map[Fault]int  // injected fault tally, for test assertions
+}
+
+// New returns an injector over src with the given config.
+func New(src ingest.Source, cfg Config) *Injector {
+	if cfg.FailCount == 0 {
+		cfg.FailCount = 2
+	}
+	if cfg.TruncateFrac == 0 {
+		cfg.TruncateFrac = 0.5
+	}
+	return &Injector{cfg: cfg, src: src, seen: make(map[string]int), hits: make(map[Fault]int)}
+}
+
+// FaultFor returns the fault assigned to a path. The assignment is pure:
+// it depends only on the config and the path.
+func (in *Injector) FaultFor(path string) Fault {
+	if f, ok := in.cfg.Plan[path]; ok {
+		return f
+	}
+	u := in.unit(path, "assign")
+	for _, c := range []struct {
+		p float64
+		f Fault
+	}{
+		{in.cfg.MissingProb, Missing},
+		{in.cfg.TruncatedProb, Truncated},
+		{in.cfg.TransientProb, Transient},
+		{in.cfg.CorruptedProb, Corrupted},
+		{in.cfg.DelayedProb, Delayed},
+	} {
+		if u < c.p {
+			return c.f
+		}
+		u -= c.p
+	}
+	return None
+}
+
+// unit returns a deterministic uniform draw in [0, 1) for (path, label).
+func (in *Injector) unit(path, label string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", in.cfg.Seed, label, path)
+	return rand.New(rand.NewSource(int64(h.Sum64()))).Float64()
+}
+
+// Stats returns how many reads each fault class intercepted so far.
+// Transient and Delayed count one hit per failed read.
+func (in *Injector) Stats() map[Fault]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Fault]int, len(in.hits))
+	for f, n := range in.hits {
+		out[f] = n
+	}
+	return out
+}
+
+func (in *Injector) record(f Fault) {
+	in.mu.Lock()
+	in.hits[f]++
+	in.mu.Unlock()
+}
+
+// attempt bumps and returns the per-path read attempt counter (1-based).
+func (in *Injector) attempt(path string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seen[path]++
+	return in.seen[path]
+}
+
+// ReadChunk implements ingest.Source.
+func (in *Injector) ReadChunk(ctx context.Context, path string) ([]byte, error) {
+	switch f := in.FaultFor(path); f {
+	case Missing:
+		in.record(f)
+		return nil, fmt.Errorf("faults: %s: %w", path, fs.ErrNotExist)
+	case Transient:
+		if in.attempt(path) <= in.cfg.FailCount {
+			in.record(f)
+			return nil, retry.Transientf("faults: %s: resource temporarily unavailable", path)
+		}
+	case Delayed:
+		if in.attempt(path) <= in.cfg.FailCount {
+			in.record(f)
+			return nil, retry.Transient(fmt.Errorf("faults: %s not yet published: %w", path, fs.ErrNotExist))
+		}
+	case Truncated:
+		data, err := in.src.ReadChunk(ctx, path)
+		if err != nil {
+			return nil, err
+		}
+		in.record(f)
+		return data[:int(float64(len(data))*in.cfg.TruncateFrac)], nil
+	case Corrupted:
+		data, err := in.src.ReadChunk(ctx, path)
+		if err != nil {
+			return nil, err
+		}
+		in.record(f)
+		out := append([]byte(nil), data...)
+		// Flip a deterministic handful of bytes.
+		rng := rand.New(rand.NewSource(int64(fnvHash(path)) ^ in.cfg.Seed))
+		for i := 0; i < 4 && len(out) > 0; i++ {
+			out[rng.Intn(len(out))] ^= 0xFF
+		}
+		return out, nil
+	}
+	return in.src.ReadChunk(ctx, path)
+}
+
+func fnvHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

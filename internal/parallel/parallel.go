@@ -9,9 +9,9 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
 // DefaultWorkers returns the default degree of parallelism, which is the
@@ -37,6 +37,19 @@ type Options struct {
 	// default) hands out Grain-sized chunks from an atomic cursor, which
 	// balances skewed workloads the way OpenMP schedule(dynamic) does.
 	Static bool
+	// Context, when non-nil, makes the loop cancellable: workers check it
+	// between grains and stop claiming work once it is done. A grain
+	// already handed to the body still runs to completion, so
+	// cancellation latency is bounded by one grain. Under static
+	// scheduling blocks are subdivided into grains to preserve that
+	// bound. The loop still returns normally; callers that need to
+	// distinguish a cancelled partial result check Context.Err().
+	Context context.Context
+}
+
+// cancelled reports whether the loop's context (if any) is done.
+func (o Options) cancelled() bool {
+	return o.Context != nil && o.Context.Err() != nil
 }
 
 func (o Options) workers(n int) int {
@@ -81,18 +94,34 @@ func ForWorkers(n, workers int, body func(lo, hi int)) {
 }
 
 // ForOpt runs body over the half-open index range [0, n) with the given
-// options. It returns once every index has been processed. A single-worker
-// loop degenerates to a direct call with no goroutines.
+// options. It returns once every index has been processed — or, when
+// opt.Context is cancelled, as soon as in-flight grains finish. A
+// single-worker loop degenerates to a direct call with no goroutines.
 func ForOpt(n int, opt Options, body func(lo, hi int)) {
-	if n <= 0 {
+	if n <= 0 || opt.cancelled() {
 		return
 	}
 	workers := opt.workers(n)
 	if workers == 1 {
-		body(0, n)
+		if opt.Context == nil {
+			body(0, n)
+			return
+		}
+		grain := opt.grain(n, workers)
+		for lo := 0; lo < n && !opt.cancelled(); lo += grain {
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
 		return
 	}
 	if opt.Static {
+		grain := 0
+		if opt.Context != nil {
+			grain = opt.grain(n, workers)
+		}
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
@@ -100,8 +129,21 @@ func ForOpt(n int, opt Options, body func(lo, hi int)) {
 			hi := (w + 1) * n / workers
 			go func(lo, hi int) {
 				defer wg.Done()
-				if lo < hi {
+				if lo >= hi {
+					return
+				}
+				if grain == 0 {
 					body(lo, hi)
+					return
+				}
+				// Cancellable: walk the block one grain at a time so a
+				// cancelled context stops the worker promptly.
+				for ; lo < hi && !opt.cancelled(); lo += grain {
+					end := lo + grain
+					if end > hi {
+						end = hi
+					}
+					body(lo, end)
 				}
 			}(lo, hi)
 		}
@@ -109,20 +151,16 @@ func ForOpt(n int, opt Options, body func(lo, hi int)) {
 		return
 	}
 	grain := opt.grain(n, workers)
-	var cursor atomic.Int64
+	cursor := newCursor()
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
-				lo := int(cursor.Add(int64(grain))) - grain
-				if lo >= n {
+			for !opt.cancelled() {
+				lo, hi := cursor.next(grain, n)
+				if lo >= hi {
 					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
 				}
 				body(lo, hi)
 			}

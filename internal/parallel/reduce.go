@@ -11,11 +11,23 @@ import "sync"
 // combined once at the end, avoiding shared-write contention.
 func MapReduce[A any](n int, opt Options, newPartial func() A, body func(acc A, lo, hi int) A, merge func(dst, src A) A) A {
 	workers := opt.workers(max(n, 1))
-	if n <= 0 {
+	if n <= 0 || opt.cancelled() {
 		return newPartial()
 	}
 	if workers == 1 {
-		return body(newPartial(), 0, n)
+		if opt.Context == nil {
+			return body(newPartial(), 0, n)
+		}
+		acc := newPartial()
+		grain := opt.grain(n, workers)
+		for lo := 0; lo < n && !opt.cancelled(); lo += grain {
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			acc = body(acc, lo, hi)
+		}
+		return acc
 	}
 	partials := make([]A, workers)
 	var wg sync.WaitGroup
@@ -26,7 +38,7 @@ func MapReduce[A any](n int, opt Options, newPartial func() A, body func(acc A, 
 		go func(w int) {
 			defer wg.Done()
 			acc := newPartial()
-			for {
+			for !opt.cancelled() {
 				lo, hi := cursor.next(grain, n)
 				if lo >= hi {
 					break

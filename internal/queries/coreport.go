@@ -36,7 +36,7 @@ func CoReport(e *engine.Engine, sources []int32) (*CoReporting, error) {
 		pair   *matrix.Int64
 		counts []int64
 	}
-	res := parallel.MapReduce(db.Events.Len(), parallel.Options{Workers: e.Workers()},
+	res := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
 		func() *partial {
 			return &partial{pair: matrix.NewInt64(n, n), counts: make([]int64, n)}
 		},
@@ -127,7 +127,7 @@ func CoReportSliced(e *engine.Engine, sources []int32) (*CoReporting, *SliceStat
 		evByQuarter[q] = append(evByQuarter[q], int32(ev))
 	}
 
-	parallel.ForOpt(nq, parallel.Options{Workers: e.Workers(), Grain: 1}, func(qlo, qhi int) {
+	parallel.ForOpt(nq, scanOptGrain1(e), func(qlo, qhi int) {
 		localCounts := make([]int64, n)
 		present := make([]int, 0, 16)
 		mark := make([]bool, n)
@@ -216,7 +216,7 @@ func FollowReport(e *engine.Engine, sources []int32) *FollowReporting {
 	for i, s := range sources {
 		articles[i] = int64(len(db.SourceMentions(s)))
 	}
-	nm := parallel.MapReduce(db.Events.Len(), parallel.Options{Workers: e.Workers()},
+	nm := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
 		func() *matrix.Int64 { return matrix.NewInt64(n, n) },
 		func(acc *matrix.Int64, lo, hi int) *matrix.Int64 {
 			firstSeen := make([]int32, n)

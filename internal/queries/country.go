@@ -51,7 +51,7 @@ func CountryQuery(e *engine.Engine) (*CountryReport, error) {
 		pair   *matrix.Int64
 		counts []int64
 	}
-	res := parallel.MapReduce(db.Events.Len(), parallel.Options{Workers: e.Workers()},
+	res := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
 		func() *partial {
 			return &partial{pair: matrix.NewInt64(nc, nc), counts: make([]int64, nc)}
 		},

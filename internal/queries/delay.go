@@ -30,7 +30,7 @@ type SourceDelayStats struct {
 func PublisherDelays(e *engine.Engine, sources []int32) []SourceDelayStats {
 	db := e.DB()
 	out := make([]SourceDelayStats, len(sources))
-	parallel.ForOpt(len(sources), parallel.Options{Workers: e.Workers()}, func(lo, hi int) {
+	parallel.ForOpt(len(sources), e.ScanOptions(), func(lo, hi int) {
 		var buf []int64
 		for i := lo; i < hi; i++ {
 			s := sources[i]
@@ -115,7 +115,7 @@ func QuarterlyDelays(e *engine.Engine) QuarterlyDelay {
 		Average: make([]float64, nq),
 		Median:  make([]int64, nq),
 	}
-	parallel.ForOpt(nq, parallel.Options{Workers: e.Workers(), Grain: 1}, func(qlo, qhi int) {
+	parallel.ForOpt(nq, scanOptGrain1(e), func(qlo, qhi int) {
 		ct := stats.NewCountTable(maxDelay)
 		for q := qlo; q < qhi; q++ {
 			for i := range ct.Counts {

@@ -31,7 +31,7 @@ type FirstReportLatency struct {
 // observed events.
 func FirstReports(e *engine.Engine) FirstReportLatency {
 	db := e.DB()
-	ct := parallel.MapReduce(db.Events.Len(), parallel.Options{Workers: e.Workers()},
+	ct := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
 		func() *stats.CountTable { return stats.NewCountTable(maxDelay) },
 		func(acc *stats.CountTable, lo, hi int) *stats.CountTable {
 			for ev := lo; ev < hi; ev++ {
@@ -101,7 +101,7 @@ func Repeats(e *engine.Engine, k int) RepeatedCoverage {
 		repeats     int64
 		perSource   []int64
 	}
-	res := parallel.MapReduce(db.Events.Len(), parallel.Options{Workers: e.Workers()},
+	res := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
 		func() *partial { return &partial{perSource: make([]int64, db.Sources.Len())} },
 		func(acc *partial, lo, hi int) *partial {
 			seen := map[int32]bool{}

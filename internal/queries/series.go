@@ -49,7 +49,7 @@ func EventsPerQuarter(e *engine.Engine) QuarterlySeries {
 func ActiveSourcesPerQuarter(e *engine.Engine) QuarterlySeries {
 	db := e.DB()
 	nq := db.NumQuarters()
-	vals := parallel.MapReduce(db.Sources.Len(), parallel.Options{Workers: e.Workers()},
+	vals := parallel.MapReduce(db.Sources.Len(), e.ScanOptions(),
 		func() []int64 { return make([]int64, nq) },
 		func(acc []int64, lo, hi int) []int64 {
 			seen := make([]bool, nq)

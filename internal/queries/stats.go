@@ -9,8 +9,17 @@ package queries
 import (
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/parallel"
 	"gdeltmine/internal/stats"
 )
+
+// scanOptGrain1 is the engine's scan options with a grain of one, used by
+// loops whose per-iteration work is a whole postings scan.
+func scanOptGrain1(e *engine.Engine) parallel.Options {
+	opt := e.ScanOptions()
+	opt.Grain = 1
+	return opt
+}
 
 // DatasetStats is the Table I summary.
 type DatasetStats struct {

@@ -26,7 +26,7 @@ func TopThemes(e *engine.Engine, k int) ([]ThemeCount, error) {
 	}
 	g := db.GKG
 	nt := g.Themes.Len()
-	counts := parallel.MapReduce(g.Table.Len(), parallel.Options{Workers: e.Workers()},
+	counts := parallel.MapReduce(g.Table.Len(), e.ScanOptions(),
 		func() []int64 { return make([]int64, nt) },
 		func(acc []int64, lo, hi int) []int64 {
 			for r := lo; r < hi; r++ {
@@ -69,7 +69,7 @@ func ThemeTrends(e *engine.Engine, themes []string) ([]ThemeTrend, error) {
 	nq := db.NumQuarters()
 	labels := quarterLabels(e)
 	out := make([]ThemeTrend, len(themes))
-	parallel.ForOpt(len(themes), parallel.Options{Workers: e.Workers(), Grain: 1}, func(lo, hi int) {
+	parallel.ForOpt(len(themes), scanOptGrain1(e), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			tr := ThemeTrend{Theme: themes[i], Labels: labels, Values: make([]int64, nq)}
 			if id := g.Themes.Lookup(themes[i]); id >= 0 {
@@ -112,7 +112,7 @@ func ThemeCooccurrences(e *engine.Engine, k int) (*ThemeCooccurrence, error) {
 		pos[g.Themes.Lookup(tc.Theme)] = i
 		totals[i] = tc.Articles
 	}
-	pair := parallel.MapReduce(g.Table.Len(), parallel.Options{Workers: e.Workers()},
+	pair := parallel.MapReduce(g.Table.Len(), e.ScanOptions(),
 		func() *matrix.Int64 { return matrix.NewInt64(n, n) },
 		func(acc *matrix.Int64, lo, hi int) *matrix.Int64 {
 			var sel []int
@@ -196,7 +196,7 @@ func TranslatedShare(e *engine.Engine) (labels []string, share []float64, err er
 	g := db.GKG
 	nq := db.NumQuarters()
 	type pair struct{ translated, total []int64 }
-	res := parallel.MapReduce(g.Table.Len(), parallel.Options{Workers: e.Workers()},
+	res := parallel.MapReduce(g.Table.Len(), e.ScanOptions(),
 		func() *pair { return &pair{make([]int64, nq), make([]int64, nq)} },
 		func(acc *pair, lo, hi int) *pair {
 			for r := lo; r < hi; r++ {

@@ -37,7 +37,7 @@ func FastSpreadingEvents(e *engine.Engine, window int32, minSources, k int) []Wi
 	if window < 1 {
 		window = 1
 	}
-	candidates := parallel.MapReduce(db.Events.Len(), parallel.Options{Workers: e.Workers()},
+	candidates := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
 		func() []Wildfire { return nil },
 		func(acc []Wildfire, lo, hi int) []Wildfire {
 			seen := map[int32]bool{}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// Config tunes the server's protective limits. The zero value disables all
+// of them (no timeout, no load shedding), matching the pre-hardening
+// behavior of New.
+type Config struct {
+	// RequestTimeout bounds the wall-clock time of one request; the
+	// deadline propagates through the engine's scan context, so a timed-out
+	// query stops consuming cores. Zero means no timeout.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently served requests; excess requests are
+	// shed immediately with 503 rather than queued, keeping latency
+	// bounded under overload. Zero means unlimited.
+	MaxInFlight int
+}
+
+// jsonError writes the uniform error envelope every failure path uses:
+// {"error": "..."} with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+// SetReady flips the /readyz probe. A freshly constructed server is ready
+// (its dataset is already loaded); cmd/gdeltserve flips it off when a
+// shutdown begins so load balancers stop routing to a draining process.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// InFlight returns the number of requests currently being served.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// handleHealthz reports liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, r, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleReadyz reports readiness: liveness plus "not draining".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		jsonError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, r, struct {
+		Status string `json:"status"`
+	}{"ready"})
+}
+
+// protect is the middleware chain applied outside the mux: panic recovery,
+// method filtering, load shedding, and the per-request timeout.
+func (s *Server) protect(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				debug.PrintStack()
+				jsonError(w, http.StatusInternalServerError, "internal error: %v", rec)
+			}
+		}()
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed; use GET", r.Method)
+			return
+		}
+		if s.cfg.MaxInFlight > 0 {
+			select {
+			case s.slots <- struct{}{}:
+				defer func() { <-s.slots }()
+			default:
+				jsonError(w, http.StatusServiceUnavailable, "server overloaded: %d requests in flight", s.cfg.MaxInFlight)
+				return
+			}
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

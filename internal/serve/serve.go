@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/gdelt"
@@ -19,14 +20,26 @@ import (
 
 // Server serves analysis queries over one immutable dataset.
 type Server struct {
-	db  *store.DB
-	eng *engine.Engine
-	mux *http.ServeMux
+	db       *store.DB
+	eng      *engine.Engine
+	cfg      Config
+	handler  http.Handler
+	slots    chan struct{} // load-shedding semaphore, nil when unlimited
+	ready    atomic.Bool
+	inFlight atomic.Int64
 }
 
-// New returns a server over the database.
-func New(db *store.DB) *Server {
-	s := &Server{db: db, eng: engine.New(db)}
+// New returns a server over the database with no protective limits.
+func New(db *store.DB) *Server { return NewWithConfig(db, Config{}) }
+
+// NewWithConfig returns a server with the given timeout and load-shedding
+// limits applied to every query endpoint.
+func NewWithConfig(db *store.DB, cfg Config) *Server {
+	s := &Server{db: db, eng: engine.New(db), cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	s.ready.Store(true)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/defects", s.handleDefects)
@@ -44,17 +57,24 @@ func New(db *store.DB) *Server {
 	mux.HandleFunc("/api/themes", s.handleThemes)
 	mux.HandleFunc("/api/theme-trends", s.handleThemeTrends)
 	mux.HandleFunc("/api/translated-share", s.handleTranslatedShare)
-	s.mux = mux
+	// Health probes stay outside the protective chain: a loaded or draining
+	// server must still answer liveness checks.
+	root := http.NewServeMux()
+	root.HandleFunc("/healthz", s.handleHealthz)
+	root.HandleFunc("/readyz", s.handleReadyz)
+	root.Handle("/", s.protect(mux))
+	s.handler = root
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-// queryEngine derives the engine view for a request: worker pinning and
-// time windowing.
+// queryEngine derives the engine view for a request: worker pinning, time
+// windowing, and the request context — cancelling the request (client
+// disconnect or timeout) stops the engine's parallel scans early.
 func (s *Server) queryEngine(r *http.Request) (*engine.Engine, error) {
-	e := s.eng
+	e := s.eng.WithContext(r.Context())
 	if ws := r.URL.Query().Get("workers"); ws != "" {
 		w, err := strconv.Atoi(ws)
 		if err != nil || w < 0 {
@@ -109,17 +129,24 @@ func intParam(r *http.Request, name string, def, max int) (int, error) {
 	return n, nil
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON sends v, unless the request was cancelled or timed out while
+// the query ran — a cancelled engine scan returns a partial aggregate, so
+// the result must not be served as if it were complete.
+func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
+	if err := r.Context().Err(); err != nil {
+		jsonError(w, http.StatusGatewayTimeout, "request cancelled: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		jsonError(w, http.StatusInternalServerError, "encoding response: %v", err)
 	}
 }
 
 func badRequest(w http.ResponseWriter, err error) {
-	http.Error(w, err.Error(), http.StatusBadRequest)
+	jsonError(w, http.StatusBadRequest, "%v", err)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -128,7 +155,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, queries.Dataset(e))
+	writeJSON(w, r, queries.Dataset(e))
 }
 
 func (s *Server) handleDefects(w http.ResponseWriter, r *http.Request) {
@@ -140,7 +167,7 @@ func (s *Server) handleDefects(w http.ResponseWriter, r *http.Request) {
 	for c, n := range s.db.Report.Counts {
 		out = append(out, defect{Class: gdelt.DefectClass(c).String(), Count: n})
 	}
-	writeJSON(w, out)
+	writeJSON(w, r, out)
 }
 
 func (s *Server) handleTopPublishers(w http.ResponseWriter, r *http.Request) {
@@ -164,7 +191,7 @@ func (s *Server) handleTopPublishers(w http.ResponseWriter, r *http.Request) {
 	for i := range ids {
 		out[i] = row{Rank: i + 1, Source: s.db.Sources.Name(ids[i]), Articles: counts[i]}
 	}
-	writeJSON(w, out)
+	writeJSON(w, r, out)
 }
 
 func (s *Server) handleTopEvents(w http.ResponseWriter, r *http.Request) {
@@ -178,7 +205,7 @@ func (s *Server) handleTopEvents(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, queries.TopEvents(e, k))
+	writeJSON(w, r, queries.TopEvents(e, k))
 }
 
 func (s *Server) handleEventSizes(w http.ResponseWriter, r *http.Request) {
@@ -193,7 +220,7 @@ func (s *Server) handleEventSizes(w http.ResponseWriter, r *http.Request) {
 		Alpha  float64 `json:"alpha"`
 		R2     float64 `json:"r2"`
 	}{Counts: d.Counts, Alpha: d.Fit.Alpha, R2: d.Fit.R2}
-	writeJSON(w, out)
+	writeJSON(w, r, out)
 }
 
 func (s *Server) handleCountry(w http.ResponseWriter, r *http.Request) {
@@ -209,7 +236,7 @@ func (s *Server) handleCountry(w http.ResponseWriter, r *http.Request) {
 	}
 	cr, err := queries.CountryQuery(e)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		jsonError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	rows := cr.TopReported[:k]
@@ -234,7 +261,7 @@ func (s *Server) handleCountry(w http.ResponseWriter, r *http.Request) {
 			co[i][j] = cr.CoReporting.At(cols[i], cols[j])
 		}
 	}
-	writeJSON(w, struct {
+	writeJSON(w, r, struct {
 		Reported    []string    `json:"reported"`
 		Publishing  []string    `json:"publishing"`
 		Cross       [][]int64   `json:"cross"`
@@ -260,7 +287,7 @@ func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < k; i++ {
 		f[i] = append([]float64(nil), fr.F.Row(i)...)
 	}
-	writeJSON(w, struct {
+	writeJSON(w, r, struct {
 		Names   []string    `json:"names"`
 		F       [][]float64 `json:"f"`
 		ColSums []float64   `json:"colSums"`
@@ -281,14 +308,14 @@ func (s *Server) handleCoReport(w http.ResponseWriter, r *http.Request) {
 	ids, _ := queries.TopPublishers(e, k)
 	co, err := queries.CoReport(e, ids)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		jsonError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	jac := make([][]float64, k)
 	for i := 0; i < k; i++ {
 		jac[i] = append([]float64(nil), co.Jaccard.Row(i)...)
 	}
-	writeJSON(w, struct {
+	writeJSON(w, r, struct {
 		Names   []string    `json:"names"`
 		Jaccard [][]float64 `json:"jaccard"`
 	}{co.Names, jac})
@@ -306,7 +333,7 @@ func (s *Server) handleDelays(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ids, _ := queries.TopPublishers(e, k)
-	writeJSON(w, queries.PublisherDelays(e, ids))
+	writeJSON(w, r, queries.PublisherDelays(e, ids))
 }
 
 func (s *Server) handleQuarterlyDelay(w http.ResponseWriter, r *http.Request) {
@@ -315,7 +342,7 @@ func (s *Server) handleQuarterlyDelay(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, queries.QuarterlyDelays(e))
+	writeJSON(w, r, queries.QuarterlyDelays(e))
 }
 
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
@@ -335,10 +362,10 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	case "/api/series/slow-articles":
 		series = queries.SlowArticlesPerQuarter(e)
 	default:
-		http.NotFound(w, r)
+		jsonError(w, http.StatusNotFound, "unknown series %q", r.URL.Path)
 		return
 	}
-	writeJSON(w, series)
+	writeJSON(w, r, series)
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
@@ -353,7 +380,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, struct {
+	writeJSON(w, r, struct {
 		Where    string `json:"where"`
 		Articles int64  `json:"articles"`
 	}{expr, n})
@@ -362,10 +389,10 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 // gkgError maps ErrNoGKG to 404 and other errors to 500.
 func gkgError(w http.ResponseWriter, err error) {
 	if err == queries.ErrNoGKG {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		jsonError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	http.Error(w, err.Error(), http.StatusInternalServerError)
+	jsonError(w, http.StatusInternalServerError, "%v", err)
 }
 
 func (s *Server) handleThemes(w http.ResponseWriter, r *http.Request) {
@@ -384,7 +411,7 @@ func (s *Server) handleThemes(w http.ResponseWriter, r *http.Request) {
 		gkgError(w, err)
 		return
 	}
-	writeJSON(w, top)
+	writeJSON(w, r, top)
 }
 
 func (s *Server) handleThemeTrends(w http.ResponseWriter, r *http.Request) {
@@ -403,7 +430,7 @@ func (s *Server) handleThemeTrends(w http.ResponseWriter, r *http.Request) {
 		gkgError(w, err)
 		return
 	}
-	writeJSON(w, trends)
+	writeJSON(w, r, trends)
 }
 
 func (s *Server) handleTranslatedShare(w http.ResponseWriter, r *http.Request) {
@@ -417,7 +444,7 @@ func (s *Server) handleTranslatedShare(w http.ResponseWriter, r *http.Request) {
 		gkgError(w, err)
 		return
 	}
-	writeJSON(w, struct {
+	writeJSON(w, r, struct {
 		Labels []string  `json:"labels"`
 		Share  []float64 `json:"share"`
 	}{labels, share})
@@ -444,5 +471,5 @@ func (s *Server) handleWildfires(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, queries.FastSpreadingEvents(e, int32(window), minSources, k))
+	writeJSON(w, r, queries.FastSpreadingEvents(e, int32(window), minSources, k))
 }

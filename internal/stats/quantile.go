@@ -187,3 +187,39 @@ func (p *P2Quantile) Value() float64 {
 
 // N returns the number of observations folded in so far.
 func (p *P2Quantile) N() int64 { return p.n }
+
+// P2State is the full serializable state of a P2Quantile, used by the
+// stream monitor's checkpoint/resume snapshot.
+type P2State struct {
+	Q       float64    `json:"q"`
+	N       int64      `json:"n"`
+	Heights [5]float64 `json:"heights"`
+	Pos     [5]float64 `json:"pos"`
+	Desired [5]float64 `json:"desired"`
+	Primed  bool       `json:"primed"`
+	InitBuf []float64  `json:"initBuf,omitempty"`
+}
+
+// State captures the estimator for checkpointing.
+func (p *P2Quantile) State() P2State {
+	return P2State{
+		Q: p.q, N: p.n,
+		Heights: p.heights, Pos: p.pos, Desired: p.desired,
+		Primed:  p.primed,
+		InitBuf: append([]float64(nil), p.initBuf...),
+	}
+}
+
+// P2FromState rebuilds an estimator from a checkpointed state. Feeding the
+// restored estimator the remaining observations yields exactly the value
+// the uninterrupted estimator would have produced.
+func P2FromState(st P2State) *P2Quantile {
+	p := NewP2Quantile(st.Q)
+	p.n = st.N
+	p.heights = st.Heights
+	p.pos = st.Pos
+	p.desired = st.Desired
+	p.primed = st.Primed
+	p.initBuf = append([]float64(nil), st.InitBuf...)
+	return p
+}

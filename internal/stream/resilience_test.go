@@ -1,0 +1,239 @@
+package stream
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gdeltmine/internal/gdelt"
+)
+
+// ivTS returns the timestamp of interval offset iv from the test base.
+func ivTS(base gdelt.Timestamp, iv int64) gdelt.Timestamp {
+	return gdelt.IntervalStart(base.IntervalIndex() + iv)
+}
+
+// mention builds a synthetic mention at interval offset iv for an event
+// ignited at interval offset evIv.
+func mention(base gdelt.Timestamp, id int64, evIv, iv int64, source string) gdelt.Mention {
+	return gdelt.Mention{
+		GlobalEventID: id,
+		EventTime:     ivTS(base, evIv),
+		MentionTime:   ivTS(base, iv),
+		SourceName:    source,
+	}
+}
+
+const testBase = gdelt.Timestamp(20150218000000)
+
+func TestGapDetection(t *testing.T) {
+	m := NewMonitor(testBase, Config{})
+	// Chunks arrive every interval; interval 2 never shows up.
+	for _, iv := range []int64{0, 1, 3, 4} {
+		m.MarkChunk(ivTS(testBase, iv))
+	}
+	gaps := m.Gaps()
+	if len(gaps) != 1 || gaps[0] != ivTS(testBase, 2) {
+		t.Fatalf("gaps = %v, want [%v]", gaps, ivTS(testBase, 2))
+	}
+	if got := m.Snapshot().MissingChunks; got != 1 {
+		t.Fatalf("MissingChunks = %d, want 1", got)
+	}
+	if m.SeenChunk(ivTS(testBase, 2)) {
+		t.Fatal("SeenChunk reported an unmarked interval")
+	}
+
+	// Catch-up: the late chunk arrives, closing the gap.
+	m.MarkChunk(ivTS(testBase, 2))
+	if gaps := m.Gaps(); len(gaps) != 0 {
+		t.Fatalf("gaps after catch-up = %v, want none", gaps)
+	}
+	if !m.SeenChunk(ivTS(testBase, 2)) {
+		t.Fatal("SeenChunk missed a marked interval")
+	}
+}
+
+func TestGapDetectionConfiguredSpacing(t *testing.T) {
+	// Chunks every 4 intervals; two consecutive arrivals lost.
+	m := NewMonitor(testBase, Config{ChunkIntervals: 4})
+	for _, iv := range []int64{0, 4, 16} {
+		m.MarkChunk(ivTS(testBase, iv))
+	}
+	gaps := m.Gaps()
+	want := []gdelt.Timestamp{ivTS(testBase, 8), ivTS(testBase, 12)}
+	if len(gaps) != len(want) || gaps[0] != want[0] || gaps[1] != want[1] {
+		t.Fatalf("gaps = %v, want %v", gaps, want)
+	}
+}
+
+func TestGraceWindowAcceptsLateMentions(t *testing.T) {
+	m := NewMonitor(testBase, Config{GraceIntervals: 4, MinSources: 2})
+	for i, iv := range []int64{0, 5, 6} {
+		mn := mention(testBase, int64(i+1), iv, iv, "a.example")
+		if err := m.ObserveMention(&mn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A mention 3 intervals behind the clock: inside grace, accepted.
+	late := mention(testBase, 10, 3, 3, "late.example")
+	if err := m.ObserveMention(&late); err != nil {
+		t.Fatalf("late mention inside grace rejected: %v", err)
+	}
+	snap := m.Snapshot()
+	if snap.LateArticles != 1 {
+		t.Fatalf("LateArticles = %d, want 1", snap.LateArticles)
+	}
+	if snap.Interval != 6 {
+		t.Fatalf("clock regressed: interval %d, want 6", snap.Interval)
+	}
+	if snap.Articles != 4 {
+		t.Fatalf("Articles = %d, want 4", snap.Articles)
+	}
+
+	// A mention beyond grace is an error and breaks the stream.
+	m2 := NewMonitor(testBase, Config{GraceIntervals: 2})
+	ahead := mention(testBase, 1, 8, 8, "a.example")
+	if err := m2.ObserveMention(&ahead); err != nil {
+		t.Fatal(err)
+	}
+	deep := mention(testBase, 2, 1, 1, "b.example")
+	err := m2.ObserveMention(&deep)
+	if err == nil || !strings.Contains(err.Error(), "grace") {
+		t.Fatalf("deep regression err = %v, want grace-window error", err)
+	}
+	if m2.Err() == nil {
+		t.Fatal("Err() not set after deep regression")
+	}
+
+	// Strict mode (zero grace) rejects any regression — legacy behavior.
+	m3 := NewMonitor(testBase, Config{})
+	fwd := mention(testBase, 1, 2, 2, "a.example")
+	if err := m3.ObserveMention(&fwd); err != nil {
+		t.Fatal(err)
+	}
+	back := mention(testBase, 2, 1, 1, "b.example")
+	if err := m3.ObserveMention(&back); err == nil {
+		t.Fatal("strict monitor accepted a regression")
+	}
+}
+
+func TestLateMentionStillCountsTowardAlert(t *testing.T) {
+	m := NewMonitor(testBase, Config{Window: 8, MinSources: 2, GraceIntervals: 4})
+	first := mention(testBase, 7, 2, 3, "a.example")
+	if err := m.ObserveMention(&first); err != nil {
+		t.Fatal(err)
+	}
+	// Clock moves ahead.
+	other := mention(testBase, 8, 5, 5, "b.example")
+	if err := m.ObserveMention(&other); err != nil {
+		t.Fatal(err)
+	}
+	// A late mention of event 7 from a second source fires the alert.
+	catchup := mention(testBase, 7, 2, 4, "c.example")
+	if err := m.ObserveMention(&catchup); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if len(snap.Alerts) != 1 || snap.Alerts[0].EventID != 7 {
+		t.Fatalf("alerts = %+v, want one for event 7", snap.Alerts)
+	}
+}
+
+// TestCheckpointResume is the restart drill: a monitor interrupted mid-feed
+// and restored from its checkpoint must end in exactly the state of an
+// uninterrupted monitor, and must know which chunks it already consumed.
+func TestCheckpointResume(t *testing.T) {
+	c := streamCorpus(t)
+	base := gdelt.Timestamp(c.World.Cfg.Start)
+	cfg := Config{Window: 16, MinSources: 3, GraceIntervals: 8, ChunkIntervals: 1}
+
+	full := NewMonitor(base, cfg)
+	half := NewMonitor(base, cfg)
+	for i := range c.Events {
+		ev := c.EventRecord(i)
+		full.ObserveEvent(&ev)
+		half.ObserveEvent(&ev)
+	}
+	cut := len(c.Mentions) / 2
+	for j := range c.Mentions {
+		mn := c.MentionRecord(j)
+		if err := full.ObserveMention(&mn); err != nil {
+			t.Fatal(err)
+		}
+		if j < cut {
+			mn2 := c.MentionRecord(j)
+			if err := half.ObserveMention(&mn2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, iv := range []int64{0, 1, 2} {
+		full.MarkChunk(ivTS(base, iv))
+		half.MarkChunk(ivTS(base, iv))
+	}
+
+	// Round-trip the interrupted monitor through a checkpoint file.
+	path := filepath.Join(t.TempDir(), "stream.ckpt")
+	if err := half.Checkpoint().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := FromCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.SeenChunk(ivTS(base, 2)) || resumed.SeenChunk(ivTS(base, 3)) {
+		t.Fatal("resumed monitor lost the chunk ledger")
+	}
+
+	// Replay the unseen tail into the resumed monitor.
+	for j := cut; j < len(c.Mentions); j++ {
+		mn := c.MentionRecord(j)
+		if err := resumed.ObserveMention(&mn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, want := resumed.Snapshot(), full.Snapshot()
+	if got.Interval != want.Interval || got.Events != want.Events ||
+		got.Articles != want.Articles || got.SlowArticles != want.SlowArticles ||
+		got.TrackedEvents != want.TrackedEvents || got.LateArticles != want.LateArticles ||
+		got.MissingChunks != want.MissingChunks {
+		t.Fatalf("resumed snapshot %+v != uninterrupted %+v", got, want)
+	}
+	if math.IsNaN(got.ApproxMedianDelay) != math.IsNaN(want.ApproxMedianDelay) ||
+		(!math.IsNaN(got.ApproxMedianDelay) && got.ApproxMedianDelay != want.ApproxMedianDelay) {
+		t.Fatalf("median delay %v != %v", got.ApproxMedianDelay, want.ApproxMedianDelay)
+	}
+	if len(got.Alerts) != len(want.Alerts) {
+		t.Fatalf("alerts %d != %d", len(got.Alerts), len(want.Alerts))
+	}
+	for i := range got.Alerts {
+		if got.Alerts[i] != want.Alerts[i] {
+			t.Fatalf("alert %d: %+v != %+v", i, got.Alerts[i], want.Alerts[i])
+		}
+	}
+
+	gotPub, wantPub := resumed.TopPublishers(10), full.TopPublishers(10)
+	if len(gotPub) != len(wantPub) {
+		t.Fatalf("publishers %d != %d", len(gotPub), len(wantPub))
+	}
+	for i := range gotPub {
+		if gotPub[i] != wantPub[i] {
+			t.Fatalf("publisher %d: %+v != %+v", i, gotPub[i], wantPub[i])
+		}
+	}
+}
+
+func TestCheckpointVersionMismatch(t *testing.T) {
+	m := NewMonitor(testBase, Config{})
+	cp := m.Checkpoint()
+	cp.Version = 99
+	if _, err := FromCheckpoint(cp); err == nil {
+		t.Fatal("FromCheckpoint accepted an unknown version")
+	}
+}

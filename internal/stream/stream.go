@@ -28,6 +28,15 @@ type Config struct {
 	// SlowThreshold classifies slow articles, in intervals. Zero means 96
 	// (the 24-hour cycle boundary of Figure 11).
 	SlowThreshold int64
+	// GraceIntervals tolerates late mentions: a mention up to this many
+	// intervals behind the monitor clock (a gap chunk caught up on
+	// arrival) is folded into the totals without moving the clock
+	// backward. Zero means strict feed order — any regression is an
+	// error, the pre-gap-handling behavior.
+	GraceIntervals int32
+	// ChunkIntervals is the expected spacing of chunk arrivals, for gap
+	// detection. Zero infers it from the first two distinct chunk marks.
+	ChunkIntervals int32
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +79,12 @@ type Snapshot struct {
 	// TrackedEvents is the number of events currently inside the wildfire
 	// horizon (a memory gauge).
 	TrackedEvents int
+	// LateArticles counts mentions accepted within the grace window after
+	// the clock had already passed their interval (gap catch-up).
+	LateArticles int64
+	// MissingChunks is the number of expected chunk intervals with no
+	// arrival so far (open gaps).
+	MissingChunks int
 	// ApproxMedianDelay is the running P² estimate of the median publishing
 	// delay in intervals (O(1) memory; NaN before any articles).
 	ApproxMedianDelay float64
@@ -93,12 +108,19 @@ type Monitor struct {
 	events       int64
 	articles     int64
 	slow         int64
+	late         int64
 	medianDelay  *stats.P2Quantile
 	perSource    map[string]int64
 	tracked      map[int64]*eventState
 	alerts       []Alert
 	evictedUpTo  int32
 	streamBroken error
+
+	// Chunk-arrival ledger for gap detection: which chunk intervals have
+	// been marked, and the observed span of marks.
+	chunkSeen             map[int32]struct{}
+	firstChunk, lastChunk int32
+	haveChunks            bool
 }
 
 // NewMonitor returns a monitor for a feed starting at the given timestamp.
@@ -109,7 +131,74 @@ func NewMonitor(start gdelt.Timestamp, cfg Config) *Monitor {
 		medianDelay: stats.NewP2Quantile(0.5),
 		perSource:   make(map[string]int64),
 		tracked:     make(map[int64]*eventState),
+		chunkSeen:   make(map[int32]struct{}),
 	}
+}
+
+// MarkChunk records the arrival of the chunk covering the interval at ts.
+// The feeder calls it once per chunk it manages to read — including late
+// reads that resolve an earlier gap. Gaps() reports the expected intervals
+// never marked.
+func (m *Monitor) MarkChunk(ts gdelt.Timestamp) {
+	iv := int32(ts.IntervalIndex() - m.base)
+	if !m.haveChunks || iv < m.firstChunk {
+		m.firstChunk = iv
+	}
+	if !m.haveChunks || iv > m.lastChunk {
+		m.lastChunk = iv
+	}
+	m.haveChunks = true
+	m.chunkSeen[iv] = struct{}{}
+}
+
+// SeenChunk reports whether the chunk covering ts was already marked —
+// the test a resumed monitor uses to replay only unseen intervals.
+func (m *Monitor) SeenChunk(ts gdelt.Timestamp) bool {
+	_, ok := m.chunkSeen[int32(ts.IntervalIndex()-m.base)]
+	return ok
+}
+
+// chunkSpacing returns the expected gap between chunk marks: the
+// configured value, or the smallest observed spacing, or 0 when fewer than
+// two distinct marks exist (no gap detection possible yet).
+func (m *Monitor) chunkSpacing() int32 {
+	if m.cfg.ChunkIntervals > 0 {
+		return m.cfg.ChunkIntervals
+	}
+	spacing := int32(0)
+	marks := m.sortedMarks()
+	for i := 1; i < len(marks); i++ {
+		if d := marks[i] - marks[i-1]; d > 0 && (spacing == 0 || d < spacing) {
+			spacing = d
+		}
+	}
+	return spacing
+}
+
+func (m *Monitor) sortedMarks() []int32 {
+	marks := make([]int32, 0, len(m.chunkSeen))
+	for iv := range m.chunkSeen {
+		marks = append(marks, iv)
+	}
+	sort.Slice(marks, func(a, b int) bool { return marks[a] < marks[b] })
+	return marks
+}
+
+// Gaps returns the start timestamps of expected chunk intervals between
+// the first and last marked chunk that never arrived, in feed order. A
+// late chunk that was eventually marked no longer counts as a gap.
+func (m *Monitor) Gaps() []gdelt.Timestamp {
+	spacing := m.chunkSpacing()
+	if spacing <= 0 || !m.haveChunks {
+		return nil
+	}
+	var out []gdelt.Timestamp
+	for iv := m.firstChunk; iv < m.lastChunk; iv += spacing {
+		if _, ok := m.chunkSeen[iv]; !ok {
+			out = append(out, gdelt.IntervalStart(m.base+int64(iv)))
+		}
+	}
+	return out
 }
 
 // ObserveEvent folds a newly published event row into the running totals.
@@ -119,13 +208,19 @@ func (m *Monitor) ObserveEvent(ev *gdelt.Event) {
 
 // ObserveMention folds one article. Mentions must arrive in non-decreasing
 // capture-interval order (the natural order of the 15-minute feed); a
-// regression is reported as an error and the mention is dropped.
+// regression within Config.GraceIntervals is accepted as a late gap
+// catch-up (counted, clock unchanged), while a deeper regression is
+// reported as an error and the mention is dropped.
 func (m *Monitor) ObserveMention(mn *gdelt.Mention) error {
 	iv := int32(mn.MentionTime.IntervalIndex() - m.base)
 	if iv < m.now {
-		err := fmt.Errorf("stream: mention at interval %d after clock reached %d", iv, m.now)
-		m.streamBroken = err
-		return err
+		if m.now-iv > m.cfg.GraceIntervals {
+			err := fmt.Errorf("stream: mention at interval %d after clock reached %d (grace %d)",
+				iv, m.now, m.cfg.GraceIntervals)
+			m.streamBroken = err
+			return err
+		}
+		m.late++
 	}
 	if iv > m.now {
 		m.advance(iv)
@@ -142,6 +237,11 @@ func (m *Monitor) ObserveMention(mn *gdelt.Mention) error {
 	// ignition count.
 	evIv := int32(mn.EventTime.IntervalIndex() - m.base)
 	if iv-evIv >= m.cfg.Window {
+		return nil
+	}
+	if evIv < m.evictedUpTo {
+		// A late mention of an event already evicted from the horizon:
+		// its window state is gone, so it cannot contribute to an alert.
 		return nil
 	}
 	st, ok := m.tracked[mn.GlobalEventID]
@@ -181,6 +281,8 @@ func (m *Monitor) Snapshot() Snapshot {
 		Articles:          m.articles,
 		SlowArticles:      m.slow,
 		TrackedEvents:     len(m.tracked),
+		LateArticles:      m.late,
+		MissingChunks:     len(m.Gaps()),
 		ApproxMedianDelay: m.medianDelay.Value(),
 		Alerts:            append([]Alert(nil), m.alerts...),
 	}
