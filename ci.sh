@@ -1,9 +1,17 @@
 #!/bin/sh
 # CI gate: build, vet, tests, then the full suite under the race detector
-# (exercises the serve shutdown drain and the scan-cancellation paths).
+# (exercises the serve shutdown drain, the scan-cancellation paths, and the
+# concurrent /metrics-scrape-while-querying test in internal/serve).
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+
+# Benchmark regression gate: regenerate Table VI on the small preset and
+# compare step timings against the checked-in baseline. The baseline values
+# are deliberately generous and the threshold is 2x, so only an order-of-
+# magnitude regression (accidental serialization, quadratic blowup) trips it.
+go run ./cmd/gdeltbench -table 6 -stats -json /tmp/gdeltbench-timings.json \
+  -baseline results/bench_baseline.json -threshold 2 >/dev/null

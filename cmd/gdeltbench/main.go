@@ -10,6 +10,9 @@
 //	gdeltbench -table 4             # only Table IV
 //	gdeltbench -figure 12           # only the scaling sweep
 //	gdeltbench -db ./gdelt.gdmb     # reuse a converted database
+//	gdeltbench -stats               # append the obs metrics snapshot (JSON)
+//	gdeltbench -json t.json -baseline results/bench_baseline.json -threshold 2
+//	                                # regression gate: fail past 2x baseline
 //
 // Without -db, the harness generates the preset corpus, writes it as a raw
 // GDELT dataset into a temporary directory, and converts it — exercising
@@ -17,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"gdeltmine"
+	"gdeltmine/internal/obs"
 	"gdeltmine/internal/report"
 )
 
@@ -38,10 +43,14 @@ func main() {
 		figure  = flag.Int("figure", 0, "regenerate only this figure (2-12)")
 		keepRaw = flag.String("keep-raw", "", "write the raw dataset here instead of a temp dir")
 		workers = flag.Int("workers", 0, "default worker count for queries (0 = GOMAXPROCS)")
+		stats   = flag.Bool("stats", false, "print the engine-internal metrics snapshot as JSON after the run")
+		jsonOut = flag.String("json", "", "write per-step wall-clock timings (seconds) as JSON to this file")
+		basePth = flag.String("baseline", "", "compare timings against this baseline JSON; exit nonzero past -threshold")
+		thresh  = flag.Float64("threshold", 2.0, "regression factor: fail when a step exceeds threshold x baseline")
 	)
 	flag.Parse()
 
-	h := &harness{only: selection{table: *table, figure: *figure}}
+	h := &harness{only: selection{table: *table, figure: *figure}, timings: map[string]float64{}}
 	var err error
 	switch {
 	case *dbPath != "":
@@ -76,6 +85,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		h.timings["generate"] = time.Since(start).Seconds()
 		fmt.Printf("generated corpus (%s articles) in %v\n",
 			report.Int(int64(len(corpus.Mentions))), time.Since(start).Round(time.Millisecond))
 		start = time.Now()
@@ -88,12 +98,68 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		h.timings["convert"] = time.Since(start).Seconds()
 		fmt.Printf("converted in %v\n", time.Since(start).Round(time.Millisecond))
 		h.rawDir = dir
 	}
 	h.ds = h.ds.WithWorkers(*workers)
 	fmt.Println()
 	h.run()
+
+	if *stats {
+		data, err := obs.Default.Snapshot().MarshalJSONIndent()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- metrics snapshot ---\n%s\n", data)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(h.timings, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *basePth != "" {
+		if err := checkRegressions(h.timings, *basePth, *thresh); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timings within %.1fx of baseline %s\n", *thresh, *basePth)
+	}
+}
+
+// checkRegressions compares the run's timings against a checked-in baseline:
+// any step present in both that ran slower than threshold x its baseline
+// value fails the gate. Steps only in one of the two maps are ignored, so
+// the baseline file stays valid across partial runs (-table N).
+func checkRegressions(timings map[string]float64, path string, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	baseline := map[string]float64{}
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var failures []string
+	for name, base := range baseline {
+		cur, ok := timings[name]
+		if !ok || base <= 0 {
+			continue
+		}
+		if cur > threshold*base {
+			failures = append(failures, fmt.Sprintf("%s: %.4fs > %.1fx baseline %.4fs", name, cur, threshold, base))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "regression: %s\n", f)
+		}
+		return fmt.Errorf("%d step(s) regressed past %.1fx baseline", len(failures), threshold)
+	}
+	return nil
 }
 
 type selection struct{ table, figure int }
@@ -107,15 +173,17 @@ func (s selection) wantFigure(n int) bool {
 }
 
 type harness struct {
-	ds     *gdeltmine.Dataset
-	rawDir string
-	only   selection
+	ds      *gdeltmine.Dataset
+	rawDir  string
+	only    selection
+	timings map[string]float64
 }
 
 func (h *harness) artifact(name string, body func() string) {
 	start := time.Now()
 	out := body()
 	elapsed := time.Since(start)
+	h.timings[name] = elapsed.Seconds()
 	fmt.Print(out)
 	fmt.Printf("[%s regenerated in %v]\n\n", name, elapsed.Round(time.Microsecond))
 }
@@ -150,6 +218,7 @@ func (h *harness) run() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		h.timings["country-query"] = time.Since(start).Seconds()
 		fmt.Printf("[aggregated country query (Section VI-G) ran in %v]\n\n", time.Since(start).Round(time.Microsecond))
 	}
 	if h.only.wantTable(5) {

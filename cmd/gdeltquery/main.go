@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"gdeltmine"
+	"gdeltmine/internal/obs"
 	"gdeltmine/internal/report"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		k       = flag.Int("k", 10, "result size for top-k style queries")
 		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 		where   = flag.String("where", "", "filter expression for count/filtered-publishers/filtered-series, e.g. \"sourcecountry=UK and delay>96\"")
+		stats   = flag.Bool("stats", false, "print the engine-internal metrics snapshot as JSON after the query")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -53,7 +55,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded %s articles in %v\n\n", report.Int(int64(ds.Articles())), time.Since(start).Round(time.Millisecond))
-	ds = ds.WithWorkers(*workers)
+	ds = ds.WithWorkers(*workers).WithQueryKind(*query)
 
 	start = time.Now()
 	switch *query {
@@ -185,6 +187,13 @@ func main() {
 		log.Fatalf("unknown query %q", *query)
 	}
 	fmt.Printf("\nquery time: %v (workers=%d)\n", time.Since(start).Round(time.Millisecond), workersOrDefault(*workers))
+	if *stats {
+		data, err := obs.Default.Snapshot().MarshalJSONIndent()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n", data)
+	}
 }
 
 func workersOrDefault(w int) int {

@@ -19,6 +19,8 @@
 //
 //	/healthz               liveness probe
 //	/readyz                readiness probe (503 while draining)
+//	/metrics               Prometheus text exposition (obs registry)
+//	/debug/pprof/          profiling handlers (only with -pprof)
 //	/api/stats             Table I dataset statistics
 //	/api/defects           Table II defect counts
 //	/api/top-publishers    most productive sources       ?k=10
@@ -58,6 +60,7 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-request deadline; 0 disables")
 		maxFlight  = flag.Int("max-inflight", 64, "max concurrent requests before shedding with 503; 0 disables")
 		grace      = flag.Duration("shutdown-grace", 15*time.Second, "time allowed for in-flight requests to drain on SIGTERM")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -75,6 +78,7 @@ func main() {
 	srv := serve.NewWithConfig(db, serve.Config{
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxFlight,
+		EnablePprof:    *pprofOn,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

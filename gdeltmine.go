@@ -202,6 +202,15 @@ func (d *Dataset) WithWorkers(n int) *Dataset {
 	return &cp
 }
 
+// WithQueryKind returns a view of the dataset whose engine scans are
+// attributed to kind in the obs metrics (engine_scans_total{kind=...} and
+// friends). Purely observational; query results are unchanged.
+func (d *Dataset) WithQueryKind(kind string) *Dataset {
+	cp := *d
+	cp.eng = d.eng.WithKind(kind)
+	return &cp
+}
+
 // Window returns a view of the dataset whose mention-scan queries (counts,
 // quarterly series, cross-reporting, slow-article counts) cover only
 // articles captured in [from, to). Timestamps clamp to the archive span.

@@ -25,6 +25,10 @@ type RowStore struct {
 	Mentions []gdelt.Mention
 	// eventCountry maps GlobalEventID to the FIPS country code string.
 	eventCountry map[int64]string
+	// start and quarters describe the archive span, for the calendar-quarter
+	// reference computations in reference.go.
+	start    gdelt.Timestamp
+	quarters int
 }
 
 // NewRowStore materializes a row store from the columnar DB, restoring the
@@ -33,6 +37,8 @@ func NewRowStore(db *store.DB) *RowStore {
 	rs := &RowStore{
 		Mentions:     make([]gdelt.Mention, 0, db.Mentions.Len()),
 		eventCountry: make(map[int64]string, db.Events.Len()),
+		start:        db.Meta.Start,
+		quarters:     db.NumQuarters(),
 	}
 	for i := 0; i < db.Events.Len(); i++ {
 		if c := db.Events.Country[i]; c >= 0 {

@@ -1,0 +1,162 @@
+package baseline
+
+import (
+	"sort"
+
+	"gdeltmine/internal/gdelt"
+)
+
+// This file extends the row store with naive single-threaded reference
+// answers for the remaining query kinds, so the differential harness can
+// check the parallel engine against an implementation that shares none of
+// its machinery: no dictionary, no postings, no quarter index — every
+// answer is re-derived from the record structs and calendar timestamps.
+
+// quarterOf maps a calendar timestamp to a quarter index relative to the
+// archive start, clamped to the archive's quarter range (mirroring the
+// engine's interval clamping for out-of-archive timestamps).
+func (rs *RowStore) quarterOf(ts gdelt.Timestamp) int {
+	base := rs.start.Year()*4 + (rs.start.Month()-1)/3
+	q := ts.Year()*4 + (ts.Month()-1)/3 - base
+	if q < 0 {
+		q = 0
+	}
+	if q >= rs.quarters {
+		q = rs.quarters - 1
+	}
+	return q
+}
+
+// ArticleCountsBySource counts articles per source name.
+func (rs *RowStore) ArticleCountsBySource() map[string]int64 {
+	out := make(map[string]int64)
+	for i := range rs.Mentions {
+		out[rs.Mentions[i].SourceName]++
+	}
+	return out
+}
+
+// ArticleCountsByEvent counts articles per event id; events that were never
+// mentioned do not appear.
+func (rs *RowStore) ArticleCountsByEvent() map[int64]int64 {
+	out := make(map[int64]int64)
+	for i := range rs.Mentions {
+		out[rs.Mentions[i].GlobalEventID]++
+	}
+	return out
+}
+
+// TopCounts returns the k largest values of a count map in descending
+// order — the reference answer for any top-k query, indifferent to how
+// ties are broken among equal counts.
+func TopCounts[K comparable](m map[K]int64, k int) []int64 {
+	vals := make([]int64, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] > vals[b] })
+	if len(vals) > k {
+		vals = vals[:k]
+	}
+	return vals
+}
+
+// ArticlesPerQuarter recomputes Figure 5 from mention timestamps.
+func (rs *RowStore) ArticlesPerQuarter() []int64 {
+	out := make([]int64, rs.quarters)
+	for i := range rs.Mentions {
+		out[rs.quarterOf(rs.Mentions[i].MentionTime)]++
+	}
+	return out
+}
+
+// EventsPerQuarter recomputes Figure 4: distinct observed events bucketed
+// by the quarter of their event time.
+func (rs *RowStore) EventsPerQuarter() []int64 {
+	seen := make(map[int64]bool)
+	out := make([]int64, rs.quarters)
+	for i := range rs.Mentions {
+		m := &rs.Mentions[i]
+		if seen[m.GlobalEventID] {
+			continue
+		}
+		seen[m.GlobalEventID] = true
+		out[rs.quarterOf(m.EventTime)]++
+	}
+	return out
+}
+
+// ActiveSourcesPerQuarter recomputes Figure 3: sources with at least one
+// article in each quarter.
+func (rs *RowStore) ActiveSourcesPerQuarter() []int64 {
+	type sq struct {
+		name string
+		q    int
+	}
+	seen := make(map[sq]bool)
+	out := make([]int64, rs.quarters)
+	for i := range rs.Mentions {
+		m := &rs.Mentions[i]
+		key := sq{m.SourceName, rs.quarterOf(m.MentionTime)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out[key.q]++
+	}
+	return out
+}
+
+// SlowArticlesPerQuarter recomputes Figure 11, re-deriving each delay from
+// the record timestamps.
+func (rs *RowStore) SlowArticlesPerQuarter(threshold int64) []int64 {
+	out := make([]int64, rs.quarters)
+	for i := range rs.Mentions {
+		m := &rs.Mentions[i]
+		if m.Delay() > threshold {
+			out[rs.quarterOf(m.MentionTime)]++
+		}
+	}
+	return out
+}
+
+// EventSizeCounts recomputes the observed part of Figure 2: counts[x] =
+// number of events with exactly x articles, for x >= 1 (the row store
+// cannot see never-mentioned events).
+func (rs *RowStore) EventSizeCounts() map[int64]int64 {
+	sizes := make(map[int64]int64)
+	for _, n := range rs.ArticleCountsByEvent() {
+		sizes[n]++
+	}
+	return sizes
+}
+
+// ArticleSummary is the reference answer for the Table I statistics the row
+// store can see: article totals plus min/max/mean articles per observed
+// event.
+type ArticleSummary struct {
+	Articles    int64
+	MinArticles int64
+	MaxArticles int64
+	WeightedAvg float64
+}
+
+// Summary recomputes the observable Table I statistics.
+func (rs *RowStore) Summary() ArticleSummary {
+	out := ArticleSummary{Articles: int64(len(rs.Mentions))}
+	var sum, n int64
+	for _, c := range rs.ArticleCountsByEvent() {
+		if out.MinArticles == 0 || c < out.MinArticles {
+			out.MinArticles = c
+		}
+		if c > out.MaxArticles {
+			out.MaxArticles = c
+		}
+		sum += c
+		n++
+	}
+	if n > 0 {
+		out.WeightedAvg = float64(sum) / float64(n)
+	}
+	return out
+}

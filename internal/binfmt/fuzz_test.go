@@ -1,0 +1,119 @@
+package binfmt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"gdeltmine/internal/convert"
+	"gdeltmine/internal/gen"
+	"gdeltmine/internal/store"
+)
+
+// tinyDBBytes serializes a miniature but fully-featured world (GKG section
+// included), small enough to keep the fuzz corpus light while exercising
+// every section codec.
+func tinyDBBytes(tb testing.TB) []byte {
+	tb.Helper()
+	cfg := gen.Config{
+		Seed:             7,
+		Start:            20150218000000,
+		End:              20150310000000,
+		Sources:          20,
+		EventsPerDay:     3,
+		MediaGroupSize:   5,
+		HeadlineEvents:   1,
+		UntaggedFraction: 0.1,
+		PopularityAlpha:  2.2,
+		IntervalsPerFile: 96,
+		GKG:              true,
+	}
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := convert.FromCorpus(c)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, res.DB); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fuzzSeeds are the interesting starting points: a fully valid database,
+// truncations at section boundaries and mid-payload, a corrupt header, and
+// bit flips that land in length fields, varint streams, and CRCs.
+func fuzzSeeds(tb testing.TB) map[string][]byte {
+	valid := tinyDBBytes(tb)
+	seeds := map[string][]byte{
+		"valid":        valid,
+		"truncated":    valid[:len(valid)/2],
+		"header-only":  valid[:8],
+		"short-header": []byte("GDMB"),
+		"bad-magic":    append([]byte("XXXX"), valid[4:16]...),
+	}
+	for _, off := range []int{8, 20, len(valid) / 3, 2 * len(valid) / 3, len(valid) - 5} {
+		mut := bytes.Clone(valid)
+		mut[off] ^= 0xff
+		seeds["flip-"+strconv.Itoa(off)] = mut
+	}
+	return seeds
+}
+
+// FuzzRead asserts the loader's contract on arbitrary bytes: it either
+// returns an error or a database whose invariants hold — it never panics,
+// even on corrupted section lengths, counts, or cross-table references.
+// The checked-in corpus under testdata/fuzz/FuzzRead replays known-
+// interesting inputs on every plain `go test` run.
+func FuzzRead(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; the contract is only "no panic"
+		}
+		checkLoaded(t, db)
+	})
+}
+
+// checkLoaded asserts a database the loader accepted is safe to hand to the
+// engine: all invariants hold and it survives a re-encode round trip.
+func checkLoaded(t *testing.T, db *store.DB) {
+	t.Helper()
+	if err := db.Validate(); err != nil {
+		t.Fatalf("accepted database fails validation: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatalf("re-encoding accepted database: %v", err)
+	}
+	if _, err := Read(&buf); err != nil {
+		t.Fatalf("re-decoding accepted database: %v", err)
+	}
+}
+
+// TestWriteFuzzSeedCorpus regenerates the checked-in seed corpus. It is a
+// no-op unless GDELT_UPDATE_FUZZ_CORPUS=1 is set, the same pattern as a
+// golden-file -update flag.
+func TestWriteFuzzSeedCorpus(t *testing.T) {
+	if os.Getenv("GDELT_UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set GDELT_UPDATE_FUZZ_CORPUS=1 to regenerate the corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzRead")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range fuzzSeeds(t) {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -17,8 +17,21 @@ import (
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/gen"
 	"gdeltmine/internal/ingest"
+	"gdeltmine/internal/obs"
 	"gdeltmine/internal/retry"
 	"gdeltmine/internal/store"
+)
+
+// Conversion observability: chunk throughput and the quarantine pressure
+// gauge the stream/convert pipeline reports (a rising fraction means the
+// feed is degrading toward the MaxQuarantineFrac abort threshold).
+var (
+	mChunks = obs.Default.Counter("convert_chunks_total",
+		"chunk files successfully ingested")
+	mQuarantined = obs.Default.Counter("convert_quarantined_chunks_total",
+		"chunk files quarantined (build continued without them)")
+	mQuarantineFrac = obs.Default.Gauge("convert_quarantine_frac",
+		"quarantined fraction of master-listed chunks in the last build")
 )
 
 // QuarantinedChunk records one master-listed chunk that could not be
@@ -133,6 +146,7 @@ func FromRawDirOpts(ctx context.Context, dir string, opts Options) (*Result, err
 	quarantine := func(entry gdelt.MasterEntry, class gdelt.DefectClass, err error) {
 		report.Record(class, entry.Path)
 		res.Quarantined = append(res.Quarantined, QuarantinedChunk{Path: entry.Path, Class: class, Reason: err.Error()})
+		mQuarantined.Inc()
 	}
 	seen := make(map[string]bool, len(ml.Entries))
 	for _, entry := range ml.Entries {
@@ -166,7 +180,9 @@ func FromRawDirOpts(ctx context.Context, dir string, opts Options) (*Result, err
 			continue
 		}
 		res.Chunks++
+		mChunks.Inc()
 	}
+	mQuarantineFrac.Set(res.QuarantineFrac())
 	if frac := res.QuarantineFrac(); frac > opts.MaxQuarantineFrac {
 		return nil, fmt.Errorf("%w: %d of %d chunks (%.1f%% > %.1f%%)",
 			ErrTooManyQuarantined, len(res.Quarantined), res.Chunks+len(res.Quarantined),

@@ -9,6 +9,7 @@ import (
 	"container/heap"
 	"context"
 	"sort"
+	"time"
 
 	"gdeltmine/internal/matrix"
 	"gdeltmine/internal/parallel"
@@ -21,6 +22,8 @@ type Engine struct {
 	db      *store.DB
 	workers int
 	ctx     context.Context
+	// kind labels the engine's scan metrics with the query being served.
+	kind string
 	// Mention-row window [rowLo, rowHi); rowHi == 0 means the full table.
 	rowLo, rowHi int64
 }
@@ -45,6 +48,23 @@ func (e *Engine) WithContext(ctx context.Context) *Engine {
 	cp := *e
 	cp.ctx = ctx
 	return &cp
+}
+
+// WithKind returns a copy of the engine whose scan metrics are labelled
+// with the given query kind (e.g. the endpoint or -query name). An empty
+// kind restores the default "adhoc" label.
+func (e *Engine) WithKind(kind string) *Engine {
+	cp := *e
+	cp.kind = kind
+	return &cp
+}
+
+// Kind returns the metric label of this engine view.
+func (e *Engine) Kind() string {
+	if e.kind == "" {
+		return "adhoc"
+	}
+	return e.kind
 }
 
 // WithInterval returns a copy of the engine whose mention scans cover only
@@ -102,6 +122,7 @@ func (e *Engine) opt() parallel.Options { return e.ScanOptions() }
 // CountMentions counts mention rows in the window satisfying pred.
 func (e *Engine) CountMentions(pred func(row int) bool) int64 {
 	wlo, whi := e.mentionWindow()
+	defer e.observeScan(whi-wlo, time.Now())
 	return parallel.CountIf(whi-wlo, e.opt(), func(i int) bool { return pred(wlo + i) })
 }
 
@@ -110,6 +131,7 @@ func (e *Engine) CountMentions(pred func(row int) bool) int64 {
 // worker owns a private counter array; arrays merge once at the end.
 func (e *Engine) GroupCount(numGroups int, groupOf func(row int) int) []int64 {
 	wlo, whi := e.mentionWindow()
+	defer e.observeScan(whi-wlo, time.Now())
 	return parallel.MapReduce(whi-wlo, e.opt(),
 		func() []int64 { return make([]int64, numGroups) },
 		func(acc []int64, lo, hi int) []int64 {
@@ -126,6 +148,7 @@ func (e *Engine) GroupCount(numGroups int, groupOf func(row int) int) []int64 {
 
 // GroupCountEvents aggregates event rows into numGroups counters.
 func (e *Engine) GroupCountEvents(numGroups int, groupOf func(row int) int) []int64 {
+	defer e.observeScan(e.db.Events.Len(), time.Now())
 	return parallel.MapReduce(e.db.Events.Len(), e.opt(),
 		func() []int64 { return make([]int64, numGroups) },
 		func(acc []int64, lo, hi int) []int64 {
@@ -146,6 +169,7 @@ func (e *Engine) GroupCountEvents(numGroups int, groupOf func(row int) int) []in
 // query that produces Tables V, VI and VII (Section VI-G / Figure 12).
 func (e *Engine) CrossCount(rows, cols int, keys func(row int) (r, c int)) *matrix.Int64 {
 	wlo, whi := e.mentionWindow()
+	defer e.observeScan(whi-wlo, time.Now())
 	return parallel.MapReduce(whi-wlo, e.opt(),
 		func() *matrix.Int64 { return matrix.NewInt64(rows, cols) },
 		func(acc *matrix.Int64, lo, hi int) *matrix.Int64 {
@@ -169,6 +193,7 @@ func (e *Engine) CrossCount(rows, cols int, keys func(row int) (r, c int)) *matr
 // SumByGroup accumulates val(row) over the window into numGroups sums.
 func (e *Engine) SumByGroup(numGroups int, keyVal func(row int) (g int, v float64)) []float64 {
 	wlo, whi := e.mentionWindow()
+	defer e.observeScan(whi-wlo, time.Now())
 	return parallel.MapReduce(whi-wlo, e.opt(),
 		func() []float64 { return make([]float64, numGroups) },
 		func(acc []float64, lo, hi int) []float64 {

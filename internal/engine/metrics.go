@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"gdeltmine/internal/obs"
+)
+
+// Per-query-kind scan metrics. The engine does not know query names by
+// itself — callers label it with WithKind (the HTTP layer uses the endpoint
+// name, the CLI uses the -query value) and every kernel then records its
+// latency and row coverage under that label, giving EXPERIMENTS.md runs
+// engine-internal numbers instead of wall clock alone.
+type kindMetrics struct {
+	scans   *obs.Counter
+	rows    *obs.Counter
+	seconds *obs.Histogram
+}
+
+// kindCache avoids a registry lookup on every kernel invocation.
+var kindCache sync.Map // kind string -> *kindMetrics
+
+func metricsFor(kind string) *kindMetrics {
+	if m, ok := kindCache.Load(kind); ok {
+		return m.(*kindMetrics)
+	}
+	m := &kindMetrics{
+		scans: obs.Default.Counter("engine_scans_total",
+			"scan kernels executed", obs.L("kind", kind)),
+		rows: obs.Default.Counter("engine_rows_scanned_total",
+			"table rows covered by scan kernels", obs.L("kind", kind)),
+		seconds: obs.Default.Histogram("engine_scan_seconds",
+			"scan kernel latency in seconds", obs.LatencyBuckets, obs.L("kind", kind)),
+	}
+	actual, _ := kindCache.LoadOrStore(kind, m)
+	return actual.(*kindMetrics)
+}
+
+// observeScan records one finished kernel run over rows table rows.
+func (e *Engine) observeScan(rows int, start time.Time) {
+	m := metricsFor(e.Kind())
+	m.scans.Inc()
+	m.rows.Add(int64(rows))
+	m.seconds.ObserveSince(start)
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution: bounds[i] is the inclusive
+// upper bound of bucket i, with an implicit +Inf overflow bucket. All
+// operations are lock-free; Observe is one atomic add on the bucket plus
+// one on the count and a CAS on the running sum.
+type Histogram struct {
+	d      desc
+	bounds []float64
+	// buckets has len(bounds)+1 entries; the last is the +Inf bucket.
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(d desc, bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{d: d, bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; beyond all bounds lands in
+	// the overflow bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds — the
+// idiom for timing a scan or a request.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket sample counts, the last entry being
+// the +Inf overflow bucket. The counts are read atomically one by one.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// LatencyBuckets is the default bucket layout for operation latencies in
+// seconds: 100µs to ~100s in roughly 3× steps, covering everything from a
+// sub-millisecond windowed count to the paper's 344-second single-core
+// aggregated query.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// RatioBuckets is the default bucket layout for dimensionless ratios near
+// one, e.g. the scan imbalance factor (max worker share / ideal share).
+var RatioBuckets = []float64{1, 1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10}

@@ -1,0 +1,42 @@
+package parallel
+
+import (
+	"testing"
+
+	"gdeltmine/internal/obs"
+)
+
+// TestScanMetricsAdvance verifies that parallel loops feed the obs layer:
+// scans, covered items and grains all move, and dynamic multi-worker scans
+// record an imbalance sample.
+func TestScanMetricsAdvance(t *testing.T) {
+	before := obs.Default.Snapshot()
+	scans0 := before.Find("parallel_scans_total").Value
+	items0 := before.Find("parallel_items_total").Value
+	imb0 := before.Find("parallel_imbalance_ratio").Count
+
+	const n = 10000
+	ForOpt(n, Options{Workers: 4}, func(lo, hi int) {})
+	ForOpt(n, Options{Workers: 1}, func(lo, hi int) {})
+	_ = MapReduce(n, Options{Workers: 4},
+		func() int64 { return 0 },
+		func(acc int64, lo, hi int) int64 { return acc + int64(hi-lo) },
+		func(a, b int64) int64 { return a + b })
+
+	after := obs.Default.Snapshot()
+	if got := after.Find("parallel_scans_total").Value - scans0; got != 3 {
+		t.Fatalf("scans advanced by %v, want 3", got)
+	}
+	if got := after.Find("parallel_items_total").Value - items0; got != 3*n {
+		t.Fatalf("items advanced by %v, want %d", got, 3*n)
+	}
+	if got := after.Find("parallel_imbalance_ratio").Count - imb0; got != 2 {
+		t.Fatalf("imbalance samples advanced by %v, want 2 (the two dynamic scans)", got)
+	}
+	// The imbalance ratio is >= 1 by construction; the histogram must have
+	// no mass below its first finite bucket's lower range start of 1.
+	h := after.Find("parallel_imbalance_ratio")
+	if h.Sum < float64(h.Count) {
+		t.Fatalf("imbalance sum %v smaller than count %v — ratios below 1 recorded", h.Sum, h.Count)
+	}
+}

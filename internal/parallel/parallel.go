@@ -103,6 +103,7 @@ func ForOpt(n int, opt Options, body func(lo, hi int)) {
 	}
 	workers := opt.workers(n)
 	if workers == 1 {
+		defer recordScan(n, nil)
 		if opt.Context == nil {
 			body(0, n)
 			return
@@ -118,6 +119,7 @@ func ForOpt(n int, opt Options, body func(lo, hi int)) {
 		return
 	}
 	if opt.Static {
+		defer recordScan(n, nil)
 		grain := 0
 		if opt.Context != nil {
 			grain = opt.grain(n, workers)
@@ -152,21 +154,24 @@ func ForOpt(n int, opt Options, body func(lo, hi int)) {
 	}
 	grain := opt.grain(n, workers)
 	cursor := newCursor()
+	perWorker := make([]int64, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for !opt.cancelled() {
 				lo, hi := cursor.next(grain, n)
 				if lo >= hi {
 					return
 				}
+				perWorker[w]++
 				body(lo, hi)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	recordScan(n, perWorker)
 }
 
 // ForEachWorker runs body once per worker, passing the worker id and the

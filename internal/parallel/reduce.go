@@ -15,6 +15,7 @@ func MapReduce[A any](n int, opt Options, newPartial func() A, body func(acc A, 
 		return newPartial()
 	}
 	if workers == 1 {
+		defer recordScan(n, nil)
 		if opt.Context == nil {
 			return body(newPartial(), 0, n)
 		}
@@ -30,6 +31,7 @@ func MapReduce[A any](n int, opt Options, newPartial func() A, body func(acc A, 
 		return acc
 	}
 	partials := make([]A, workers)
+	perWorker := make([]int64, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	grain := opt.grain(n, workers)
@@ -43,12 +45,14 @@ func MapReduce[A any](n int, opt Options, newPartial func() A, body func(acc A, 
 				if lo >= hi {
 					break
 				}
+				perWorker[w]++
 				acc = body(acc, lo, hi)
 			}
 			partials[w] = acc
 		}(w)
 	}
 	wg.Wait()
+	recordScan(n, perWorker)
 	out := partials[0]
 	for w := 1; w < workers; w++ {
 		out = merge(out, partials[w])

@@ -21,16 +21,28 @@ type Config struct {
 	// shed immediately with 503 rather than queued, keeping latency
 	// bounded under overload. Zero means unlimited.
 	MaxInFlight int
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: profiling endpoints expose internals and cost CPU,
+	// so they are opt-in per deployment.
+	EnablePprof bool
 }
 
 // jsonError writes the uniform error envelope every failure path uses:
 // {"error": "..."} with the given status.
 func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	jsonErrorQuery(w, status, "", format, args...)
+}
+
+// jsonErrorQuery is jsonError with the query kind named in the envelope,
+// so a client that fans out requests can attribute a timeout to the query
+// that caused it: {"error": "...", "query": "country"}.
+func jsonErrorQuery(w http.ResponseWriter, status int, kind, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(struct {
 		Error string `json:"error"`
-	}{fmt.Sprintf(format, args...)})
+		Query string `json:"query,omitempty"`
+	}{fmt.Sprintf(format, args...), kind})
 }
 
 // SetReady flips the /readyz probe. A freshly constructed server is ready
@@ -66,6 +78,7 @@ func (s *Server) protect(next http.Handler) http.Handler {
 		defer func() {
 			if rec := recover(); rec != nil {
 				debug.PrintStack()
+				mPanics.Inc()
 				jsonError(w, http.StatusInternalServerError, "internal error: %v", rec)
 			}
 		}()
@@ -79,12 +92,13 @@ func (s *Server) protect(next http.Handler) http.Handler {
 			case s.slots <- struct{}{}:
 				defer func() { <-s.slots }()
 			default:
+				mShed.Inc()
 				jsonError(w, http.StatusServiceUnavailable, "server overloaded: %d requests in flight", s.cfg.MaxInFlight)
 				return
 			}
 		}
-		s.inFlight.Add(1)
-		defer s.inFlight.Add(-1)
+		mInFlight.Set(float64(s.inFlight.Add(1)))
+		defer func() { mInFlight.Set(float64(s.inFlight.Add(-1))) }()
 		if s.cfg.RequestTimeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 			defer cancel()

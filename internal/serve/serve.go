@@ -14,19 +14,21 @@ import (
 
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/obs"
 	"gdeltmine/internal/queries"
 	"gdeltmine/internal/store"
 )
 
 // Server serves analysis queries over one immutable dataset.
 type Server struct {
-	db       *store.DB
-	eng      *engine.Engine
-	cfg      Config
-	handler  http.Handler
-	slots    chan struct{} // load-shedding semaphore, nil when unlimited
-	ready    atomic.Bool
-	inFlight atomic.Int64
+	db        *store.DB
+	eng       *engine.Engine
+	cfg       Config
+	handler   http.Handler
+	slots     chan struct{} // load-shedding semaphore, nil when unlimited
+	ready     atomic.Bool
+	inFlight  atomic.Int64
+	endpoints map[string]*endpointMetrics
 }
 
 // New returns a server over the database with no protective limits.
@@ -35,33 +37,38 @@ func New(db *store.DB) *Server { return NewWithConfig(db, Config{}) }
 // NewWithConfig returns a server with the given timeout and load-shedding
 // limits applied to every query endpoint.
 func NewWithConfig(db *store.DB, cfg Config) *Server {
-	s := &Server{db: db, eng: engine.New(db), cfg: cfg}
+	s := &Server{db: db, eng: engine.New(db), cfg: cfg, endpoints: make(map[string]*endpointMetrics)}
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
 	s.ready.Store(true)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/stats", s.handleStats)
-	mux.HandleFunc("/api/defects", s.handleDefects)
-	mux.HandleFunc("/api/top-publishers", s.handleTopPublishers)
-	mux.HandleFunc("/api/top-events", s.handleTopEvents)
-	mux.HandleFunc("/api/event-sizes", s.handleEventSizes)
-	mux.HandleFunc("/api/country", s.handleCountry)
-	mux.HandleFunc("/api/follow", s.handleFollow)
-	mux.HandleFunc("/api/coreport", s.handleCoReport)
-	mux.HandleFunc("/api/delays", s.handleDelays)
-	mux.HandleFunc("/api/quarterly-delay", s.handleQuarterlyDelay)
-	mux.HandleFunc("/api/series/", s.handleSeries)
-	mux.HandleFunc("/api/wildfires", s.handleWildfires)
-	mux.HandleFunc("/api/count", s.handleCount)
-	mux.HandleFunc("/api/themes", s.handleThemes)
-	mux.HandleFunc("/api/theme-trends", s.handleThemeTrends)
-	mux.HandleFunc("/api/translated-share", s.handleTranslatedShare)
-	// Health probes stay outside the protective chain: a loaded or draining
-	// server must still answer liveness checks.
+	s.handle(mux, "/api/stats", "stats", s.handleStats)
+	s.handle(mux, "/api/defects", "defects", s.handleDefects)
+	s.handle(mux, "/api/top-publishers", "top-publishers", s.handleTopPublishers)
+	s.handle(mux, "/api/top-events", "top-events", s.handleTopEvents)
+	s.handle(mux, "/api/event-sizes", "event-sizes", s.handleEventSizes)
+	s.handle(mux, "/api/country", "country", s.handleCountry)
+	s.handle(mux, "/api/follow", "follow", s.handleFollow)
+	s.handle(mux, "/api/coreport", "coreport", s.handleCoReport)
+	s.handle(mux, "/api/delays", "delays", s.handleDelays)
+	s.handle(mux, "/api/quarterly-delay", "quarterly-delay", s.handleQuarterlyDelay)
+	s.handle(mux, "/api/series/", "series", s.handleSeries)
+	s.handle(mux, "/api/wildfires", "wildfires", s.handleWildfires)
+	s.handle(mux, "/api/count", "count", s.handleCount)
+	s.handle(mux, "/api/themes", "themes", s.handleThemes)
+	s.handle(mux, "/api/theme-trends", "theme-trends", s.handleThemeTrends)
+	s.handle(mux, "/api/translated-share", "translated-share", s.handleTranslatedShare)
+	// Health probes and the metrics scrape stay outside the protective
+	// chain: a loaded or draining server must still answer liveness checks
+	// and report what it is doing.
 	root := http.NewServeMux()
 	root.HandleFunc("/healthz", s.handleHealthz)
 	root.HandleFunc("/readyz", s.handleReadyz)
+	root.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		mountPprof(root)
+	}
 	root.Handle("/", s.protect(mux))
 	s.handler = root
 	return s
@@ -75,6 +82,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 // disconnect or timeout) stops the engine's parallel scans early.
 func (s *Server) queryEngine(r *http.Request) (*engine.Engine, error) {
 	e := s.eng.WithContext(r.Context())
+	if kind := kindOf(r); kind != "" {
+		e = e.WithKind(kind)
+	}
 	if ws := r.URL.Query().Get("workers"); ws != "" {
 		w, err := strconv.Atoi(ws)
 		if err != nil || w < 0 {
@@ -131,10 +141,17 @@ func intParam(r *http.Request, name string, def, max int) (int, error) {
 
 // writeJSON sends v, unless the request was cancelled or timed out while
 // the query ran — a cancelled engine scan returns a partial aggregate, so
-// the result must not be served as if it were complete.
+// the result must not be served as if it were complete. The 504 names the
+// query kind in the error envelope and records queries_timeout_total so
+// timeout storms are visible on /metrics.
 func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	if err := r.Context().Err(); err != nil {
-		jsonError(w, http.StatusGatewayTimeout, "request cancelled: %v", err)
+		kind := kindOf(r)
+		if kind != "" {
+			obs.Default.Counter("queries_timeout_total",
+				"queries abandoned by timeout or client disconnect", obs.L("kind", kind)).Inc()
+		}
+		jsonErrorQuery(w, http.StatusGatewayTimeout, kind, "request cancelled: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

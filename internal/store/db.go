@@ -158,6 +158,13 @@ func AssembleDB(meta Meta, sources *Dictionary, ev EventTable, mn MentionTable, 
 	if meta.Intervals <= 0 {
 		return nil, fmt.Errorf("store: assembling db with %d intervals", meta.Intervals)
 	}
+	// Table invariants must hold BEFORE the derived indexes are built: the
+	// counting sorts in buildPostings index by Source and EventRow, so a
+	// corrupted binary load with out-of-range references must be rejected
+	// here rather than panic there.
+	if err := db.validateTables(); err != nil {
+		return nil, err
+	}
 	db.buildSourceCountries()
 	db.buildPostings()
 	db.buildQuarterIndex()
@@ -167,9 +174,9 @@ func AssembleDB(meta Meta, sources *Dictionary, ev EventTable, mn MentionTable, 
 	return db, nil
 }
 
-// Validate checks internal invariants; it is used by tests and after binary
-// loads. It is O(rows).
-func (db *DB) Validate() error {
+// validateTables checks the invariants of the raw column tables alone —
+// everything that must hold before derived indexes can be built safely.
+func (db *DB) validateTables() error {
 	ne, nm := db.Events.Len(), db.Mentions.Len()
 	if len(db.Events.Day) != ne || len(db.Events.Interval) != ne ||
 		len(db.Events.Country) != ne || len(db.Events.NumArticles) != ne ||
@@ -199,6 +206,17 @@ func (db *DB) Validate() error {
 			return fmt.Errorf("store: mention %d references source %d of %d", i, s, db.Sources.Len())
 		}
 	}
+	return nil
+}
+
+// Validate checks internal invariants; it is used by tests and after binary
+// loads. It is O(rows).
+func (db *DB) Validate() error {
+	if err := db.validateTables(); err != nil {
+		return err
+	}
+	nm := db.Mentions.Len()
+	ne := db.Events.Len()
 	if len(db.SourceCountry) != db.Sources.Len() {
 		return fmt.Errorf("store: source country column length %d != %d", len(db.SourceCountry), db.Sources.Len())
 	}

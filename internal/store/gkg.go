@@ -133,6 +133,12 @@ func (g *GKGStore) Validate(sources *Dictionary) error {
 // postings and validating.
 func AssembleGKG(db *DB, table GKGTable, themes, persons, orgs *Dictionary) error {
 	g := &GKGStore{Table: table, Themes: themes, Persons: persons, Orgs: orgs}
+	// Validate the table before building postings: the counting sort in
+	// buildThemePostings indexes by theme id, so out-of-range ids from a
+	// corrupted binary load must fail here rather than panic there.
+	if err := g.Table.Validate(db.Sources, themes, persons, orgs); err != nil {
+		return err
+	}
 	g.buildThemePostings()
 	if err := g.Validate(db.Sources); err != nil {
 		return err

@@ -13,7 +13,29 @@ import (
 	"sort"
 
 	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/obs"
 	"gdeltmine/internal/stats"
+)
+
+// Monitor observability: process-wide counters for the feed volume plus
+// gauges describing the live monitor's health — how far the clock has run
+// past the last marked chunk (chunk lag), how many expected intervals are
+// still missing, and how much wildfire state is held. When several
+// monitors run in one process (tests), the counters aggregate across them
+// and the gauges reflect the most recent writer.
+var (
+	mArticles = obs.Default.Counter("stream_articles_total",
+		"mentions folded into stream monitors")
+	mLate = obs.Default.Counter("stream_late_articles_total",
+		"late mentions accepted within the grace window")
+	mAlerts = obs.Default.Counter("stream_alerts_total",
+		"wildfire alerts fired")
+	mTracked = obs.Default.Gauge("stream_tracked_events",
+		"events currently inside the wildfire horizon")
+	mChunkLag = obs.Default.Gauge("stream_chunk_lag_intervals",
+		"monitor clock minus last marked chunk interval")
+	mMissing = obs.Default.Gauge("stream_missing_chunks",
+		"expected chunk intervals never marked (open gaps)")
 )
 
 // Config tunes the monitor.
@@ -149,6 +171,7 @@ func (m *Monitor) MarkChunk(ts gdelt.Timestamp) {
 	}
 	m.haveChunks = true
 	m.chunkSeen[iv] = struct{}{}
+	mChunkLag.Set(float64(m.now - m.lastChunk))
 }
 
 // SeenChunk reports whether the chunk covering ts was already marked —
@@ -221,11 +244,13 @@ func (m *Monitor) ObserveMention(mn *gdelt.Mention) error {
 			return err
 		}
 		m.late++
+		mLate.Inc()
 	}
 	if iv > m.now {
 		m.advance(iv)
 	}
 	m.articles++
+	mArticles.Inc()
 	m.perSource[mn.SourceName]++
 	delay := mn.Delay()
 	m.medianDelay.Add(float64(delay))
@@ -253,7 +278,9 @@ func (m *Monitor) ObserveMention(mn *gdelt.Mention) error {
 	if !st.alerted && len(st.sources) >= m.cfg.MinSources {
 		st.alerted = true
 		m.alerts = append(m.alerts, Alert{EventID: mn.GlobalEventID, FiredAt: iv, Sources: len(st.sources)})
+		mAlerts.Inc()
 	}
+	mTracked.Set(float64(len(m.tracked)))
 	return nil
 }
 
@@ -261,6 +288,9 @@ func (m *Monitor) ObserveMention(mn *gdelt.Mention) error {
 // of the wildfire horizon, bounding tracked state to the active window.
 func (m *Monitor) advance(iv int32) {
 	m.now = iv
+	if m.haveChunks {
+		mChunkLag.Set(float64(m.now - m.lastChunk))
+	}
 	cutoff := iv - m.cfg.Window
 	if cutoff <= m.evictedUpTo {
 		return
@@ -273,8 +303,12 @@ func (m *Monitor) advance(iv int32) {
 	m.evictedUpTo = cutoff
 }
 
-// Snapshot returns the current aggregate state.
+// Snapshot returns the current aggregate state. Taking a snapshot also
+// refreshes the stream_missing_chunks gauge, whose value requires the
+// (non-constant-time) gap walk.
 func (m *Monitor) Snapshot() Snapshot {
+	gaps := len(m.Gaps())
+	mMissing.Set(float64(gaps))
 	return Snapshot{
 		Interval:          m.now,
 		Events:            m.events,
@@ -282,7 +316,7 @@ func (m *Monitor) Snapshot() Snapshot {
 		SlowArticles:      m.slow,
 		TrackedEvents:     len(m.tracked),
 		LateArticles:      m.late,
-		MissingChunks:     len(m.Gaps()),
+		MissingChunks:     gaps,
 		ApproxMedianDelay: m.medianDelay.Value(),
 		Alerts:            append([]Alert(nil), m.alerts...),
 	}
