@@ -9,9 +9,21 @@ go vet ./...
 go test ./...
 go test -race ./...
 
+# Registry differential gate: every registered query kind runs uncached and
+# through the result cache (cold and warm, at different worker counts) and
+# all three answers must agree — exact for integers, 1e-9 relative for
+# floats. Catches cache-key instability and reduction-order bugs.
+go test ./internal/baseline -run TestRegistryDifferentialCachedVsUncached -count=1
+
 # Benchmark regression gate: regenerate Table VI on the small preset and
 # compare step timings against the checked-in baseline. The baseline values
 # are deliberately generous and the threshold is 2x, so only an order-of-
 # magnitude regression (accidental serialization, quadratic blowup) trips it.
 go run ./cmd/gdeltbench -table 6 -stats -json /tmp/gdeltbench-timings.json \
   -baseline results/bench_baseline.json -threshold 2 >/dev/null
+
+# Cache benchmark gate: repeated identical queries must answer from the
+# result cache (cold run misses, every warm run hits, warm == cold) at a
+# >=10x per-request speedup. Artifact lands in results/cache_bench.json.
+go run ./cmd/gdeltbench -cache-bench \
+  -cache-json results/cache_bench.json -cache-min-speedup 10

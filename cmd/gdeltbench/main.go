@@ -13,6 +13,9 @@
 //	gdeltbench -stats               # append the obs metrics snapshot (JSON)
 //	gdeltbench -json t.json -baseline results/bench_baseline.json -threshold 2
 //	                                # regression gate: fail past 2x baseline
+//	gdeltbench -cache-bench -cache-json results/cache_bench.json -cache-min-speedup 10
+//	                                # repeated-query benchmark through the
+//	                                # result cache; fail below 10x warm speedup
 //
 // Without -db, the harness generates the preset corpus, writes it as a raw
 // GDELT dataset into a temporary directory, and converts it — exercising
@@ -30,6 +33,8 @@ import (
 
 	"gdeltmine"
 	"gdeltmine/internal/obs"
+	"gdeltmine/internal/qcache"
+	"gdeltmine/internal/registry"
 	"gdeltmine/internal/report"
 )
 
@@ -47,6 +52,10 @@ func main() {
 		jsonOut = flag.String("json", "", "write per-step wall-clock timings (seconds) as JSON to this file")
 		basePth = flag.String("baseline", "", "compare timings against this baseline JSON; exit nonzero past -threshold")
 		thresh  = flag.Float64("threshold", 2.0, "regression factor: fail when a step exceeds threshold x baseline")
+
+		cacheBench = flag.Bool("cache-bench", false, "run the repeated-query cache benchmark instead of the paper artifacts")
+		cacheJSON  = flag.String("cache-json", "", "write cache benchmark results as JSON to this file")
+		minSpeedup = flag.Float64("cache-min-speedup", 0, "fail when any kind's warm-cache speedup falls below this factor (0 disables)")
 	)
 	flag.Parse()
 
@@ -104,6 +113,12 @@ func main() {
 	}
 	h.ds = h.ds.WithWorkers(*workers)
 	fmt.Println()
+	if *cacheBench {
+		if err := runCacheBench(h.ds, *cacheJSON, *minSpeedup); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	h.run()
 
 	if *stats {
@@ -158,6 +173,103 @@ func checkRegressions(timings map[string]float64, path string, threshold float64
 			fmt.Fprintf(os.Stderr, "regression: %s\n", f)
 		}
 		return fmt.Errorf("%d step(s) regressed past %.1fx baseline", len(failures), threshold)
+	}
+	return nil
+}
+
+// cacheBenchResult is one kind's cold-vs-warm measurement as written to
+// -cache-json. Times are seconds; Speedup is MissSeconds / HitSeconds.
+type cacheBenchResult struct {
+	Kind        string  `json:"kind"`
+	MissSeconds float64 `json:"miss_seconds"`
+	HitSeconds  float64 `json:"hit_seconds"`
+	Speedup     float64 `json:"speedup"`
+	WarmIters   int     `json:"warm_iters"`
+}
+
+// runCacheBench measures the result cache on repeated identical queries: for
+// each representative kind it executes once cold (a miss that runs the full
+// scan) and then many times warm (hits served from the cache), and reports
+// the per-request speedup. The outcomes are asserted, not assumed — a warm
+// request that misses fails the benchmark, so this doubles as an end-to-end
+// check that cache keys are stable across identical requests.
+func runCacheBench(ds *gdeltmine.Dataset, jsonPath string, minSpeedup float64) error {
+	const warmIters = 200
+	ex := &registry.Executor{Cache: qcache.New(0)}
+	eng := ds.Engine()
+
+	var results []cacheBenchResult
+	for _, name := range []string{"country", "top-publishers"} {
+		d, ok := registry.Lookup(name)
+		if !ok {
+			return fmt.Errorf("cache-bench: unknown kind %q", name)
+		}
+		p, err := d.ParseParams(func(string) []string { return nil })
+		if err != nil {
+			return fmt.Errorf("cache-bench: %s: %w", name, err)
+		}
+		e := eng.WithKind(d.Kind)
+
+		start := time.Now()
+		cold, outcome, err := ex.Execute(d, e, p)
+		if err != nil {
+			return fmt.Errorf("cache-bench: %s cold run: %w", name, err)
+		}
+		if outcome != qcache.Miss {
+			return fmt.Errorf("cache-bench: %s cold run was %v, want miss", name, outcome)
+		}
+		missSec := time.Since(start).Seconds()
+
+		start = time.Now()
+		for i := 0; i < warmIters; i++ {
+			warm, outcome, err := ex.Execute(d, e, p)
+			if err != nil {
+				return fmt.Errorf("cache-bench: %s warm run %d: %w", name, i, err)
+			}
+			if outcome != qcache.Hit {
+				return fmt.Errorf("cache-bench: %s warm run %d was %v, want hit", name, i, outcome)
+			}
+			if i == 0 {
+				coldJSON, _ := json.Marshal(cold)
+				warmJSON, _ := json.Marshal(warm)
+				if string(coldJSON) != string(warmJSON) {
+					return fmt.Errorf("cache-bench: %s warm result diverges from cold result", name)
+				}
+			}
+		}
+		hitSec := time.Since(start).Seconds() / warmIters
+		if hitSec <= 0 {
+			hitSec = 1e-9 // sub-resolution timer; avoid dividing by zero
+		}
+		r := cacheBenchResult{
+			Kind:        name,
+			MissSeconds: missSec,
+			HitSeconds:  hitSec,
+			Speedup:     missSec / hitSec,
+			WarmIters:   warmIters,
+		}
+		results = append(results, r)
+		fmt.Printf("cache-bench %-16s miss %8.4fms  hit %8.4fms  speedup %8.1fx\n",
+			r.Kind, r.MissSeconds*1e3, r.HitSeconds*1e3, r.Speedup)
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if minSpeedup > 0 {
+		for _, r := range results {
+			if r.Speedup < minSpeedup {
+				return fmt.Errorf("cache-bench: %s speedup %.1fx below required %.1fx", r.Kind, r.Speedup, minSpeedup)
+			}
+		}
+		fmt.Printf("all kinds at or above %.1fx warm-cache speedup\n", minSpeedup)
 	}
 	return nil
 }

@@ -9,30 +9,30 @@
 // and SIGTERM/SIGINT drains in-flight requests before exiting (flipping
 // /readyz to 503 so load balancers stop routing first).
 //
+// Query results are memoized in a snapshot-keyed cache with single-flight
+// execution (-cache-bytes sets its memory budget): repeated or concurrent
+// identical queries cost one scan, and the X-Cache response header reports
+// hit/miss/coalesced per request.
+//
 // Usage:
 //
 //	gdeltserve -db ./gdelt.gdmb -addr :8321 [-request-timeout 30s]
-//	           [-max-inflight 64] [-shutdown-grace 15s]
+//	           [-max-inflight 64] [-shutdown-grace 15s] [-cache-bytes 268435456]
 //
-// Endpoints (all GET, all accept workers=N, from=YYYYMMDDHHMMSS,
-// to=YYYYMMDDHHMMSS):
+// The query surface is registry-driven: every kind known to
+// internal/registry is served under /api/v1/<kind> (run `gdeltquery list`
+// for the inventory and per-kind parameters). All endpoints are GET and
+// accept workers=N, from=YYYYMMDDHHMMSS, to=YYYYMMDDHHMMSS:
 //
 //	/healthz               liveness probe
 //	/readyz                readiness probe (503 while draining)
 //	/metrics               Prometheus text exposition (obs registry)
 //	/debug/pprof/          profiling handlers (only with -pprof)
-//	/api/stats             Table I dataset statistics
-//	/api/defects           Table II defect counts
-//	/api/top-publishers    most productive sources       ?k=10
-//	/api/top-events        Table III                     ?k=10
-//	/api/event-sizes       Figure 2 distribution + fit
-//	/api/country           Tables V/VI/VII               ?k=10
-//	/api/follow            Table IV                      ?k=10
-//	/api/coreport          co-reporting Jaccard          ?k=10
-//	/api/delays            Table VIII                    ?k=10
-//	/api/quarterly-delay   Figure 10
-//	/api/series/articles | events | active-sources | slow-articles
-//	/api/wildfires         fast-spreading events         ?window=8&min=5&k=10
+//	/api/v1/<kind>         any registered query kind
+//
+// The pre-versioning /api/... endpoints (e.g. /api/stats, /api/country,
+// /api/series/articles) remain as deprecated aliases of their /api/v1
+// successors; they answer identically but add a Deprecation header.
 package main
 
 import (
@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"gdeltmine/internal/binfmt"
+	"gdeltmine/internal/qcache"
 	"gdeltmine/internal/report"
 	"gdeltmine/internal/serve"
 )
@@ -61,6 +62,8 @@ func main() {
 		maxFlight  = flag.Int("max-inflight", 64, "max concurrent requests before shedding with 503; 0 disables")
 		grace      = flag.Duration("shutdown-grace", 15*time.Second, "time allowed for in-flight requests to drain on SIGTERM")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		cacheBytes = flag.Int64("cache-bytes", qcache.DefaultMaxBytes,
+			"approximate memory budget of the query result cache; 0 disables caching")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -75,10 +78,16 @@ func main() {
 	fmt.Printf("loaded %s articles from %s in %v\n",
 		report.Int(int64(db.Mentions.Len())), *dbPath, time.Since(start).Round(time.Millisecond))
 
+	// Flag semantics: 0 disables caching; Config uses negative for "off".
+	cacheBudget := *cacheBytes
+	if cacheBudget == 0 {
+		cacheBudget = -1
+	}
 	srv := serve.NewWithConfig(db, serve.Config{
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxFlight,
 		EnablePprof:    *pprofOn,
+		CacheBytes:     cacheBudget,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

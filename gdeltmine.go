@@ -140,6 +140,11 @@ func newDataset(db *store.DB, stats BuildStats) *Dataset {
 	return &Dataset{db: db, eng: engine.New(db), Build: stats}
 }
 
+// Engine exposes the dataset's engine view (workers, kind and window
+// already applied) for callers that dispatch through the query registry —
+// the CLI's registry-driven subcommands and the benchmark harness.
+func (d *Dataset) Engine() *engine.Engine { return d.eng }
+
 // ConvertRaw reads a raw GDELT dataset directory (master file list plus
 // chunk files), cleans and validates it, and builds the in-memory store.
 func ConvertRaw(dir string) (*Dataset, error) {

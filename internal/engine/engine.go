@@ -18,6 +18,14 @@ import (
 
 // Engine executes queries against one immutable store, optionally
 // restricted to a capture-interval window.
+//
+// Derivation semantics: every With* mutator (WithWorkers, WithContext,
+// WithKind, WithInterval) copies the receiver by value and returns the
+// modified copy; the receiver itself is never mutated, and no two views
+// share mutable state. A base engine can therefore be derived from freely
+// and concurrently — the property that lets one query descriptor be
+// executed against many per-request views while cached results stay
+// attributable to the shared immutable store underneath.
 type Engine struct {
 	db      *store.DB
 	workers int
@@ -96,6 +104,21 @@ func (e *Engine) mentionWindow() (lo, hi int) {
 func (e *Engine) WindowSize() int {
 	lo, hi := e.mentionWindow()
 	return hi - lo
+}
+
+// Window returns the effective half-open mention-row range [lo, hi) this
+// engine view scans. Because the mention table is interval-sorted and
+// immutable at a given store version, the pair canonically identifies the
+// time window — result caches use it as the window component of their key.
+func (e *Engine) Window() (lo, hi int) { return e.mentionWindow() }
+
+// Context returns the cancellation context of this engine view, or
+// context.Background() when none was attached.
+func (e *Engine) Context() context.Context {
+	if e.ctx == nil {
+		return context.Background()
+	}
+	return e.ctx
 }
 
 // DB returns the underlying store.

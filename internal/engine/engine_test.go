@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -173,6 +174,45 @@ func TestWorkersAccessors(t *testing.T) {
 	e2 := e.WithWorkers(5)
 	if e.workers != 0 || e2.workers != 5 {
 		t.Fatal("WithWorkers mutated receiver")
+	}
+}
+
+// TestDerivedViewsNeverMutateParent pins the documented With* contract: every
+// mutator copies the receiver by value, so a shared base engine can be
+// derived from concurrently (one view per request) without any view
+// observing another's settings.
+func TestDerivedViewsNeverMutateParent(t *testing.T) {
+	db := testDB(t)
+	base := New(db)
+	snapshot := *base
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	derived := base.
+		WithWorkers(7).
+		WithKind("country").
+		WithContext(ctx).
+		WithInterval(0, db.Meta.Intervals/2)
+
+	if *base != snapshot {
+		t.Fatalf("derivation mutated the parent: %+v -> %+v", snapshot, *base)
+	}
+	if base.Kind() != "adhoc" || base.Context() != context.Background() {
+		t.Fatal("parent kind/context changed")
+	}
+	if lo, hi := base.Window(); lo != 0 || hi != db.Mentions.Len() {
+		t.Fatal("parent window changed")
+	}
+	if derived.Workers() != 7 || derived.Kind() != "country" || derived.Context() != ctx {
+		t.Fatalf("derived view lost settings: workers=%d kind=%s", derived.Workers(), derived.Kind())
+	}
+	if derived.WindowSize() >= db.Mentions.Len() {
+		t.Fatal("derived window not applied")
+	}
+	// Sibling derivations are independent of each other too.
+	sib := base.WithKind("stats")
+	if sib.Workers() != base.Workers() || derived.Kind() != "country" {
+		t.Fatal("sibling derivation leaked settings")
 	}
 }
 

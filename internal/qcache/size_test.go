@@ -1,0 +1,71 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestApproxScalars(t *testing.T) {
+	if got := Approx(nil); got != 0 {
+		t.Fatalf("nil = %d", got)
+	}
+	if got := Approx(int64(7)); got != 8 {
+		t.Fatalf("int64 = %d", got)
+	}
+	if got := Approx("hello"); got < 5 {
+		t.Fatalf("string %d should include its bytes", got)
+	}
+}
+
+func TestApproxSliceScalesWithCapacity(t *testing.T) {
+	small := Approx(make([]int64, 10))
+	big := Approx(make([]int64, 1000))
+	if big-small < 8*900 {
+		t.Fatalf("slice growth not reflected: %d vs %d", small, big)
+	}
+	// Capacity, not length, is what the allocator holds.
+	if got := Approx(make([]int64, 0, 100)); got < 800 {
+		t.Fatalf("capacity not counted: %d", got)
+	}
+}
+
+func TestApproxStringSliceCountsContents(t *testing.T) {
+	vals := []string{"aaaaaaaaaa", "bbbbbbbbbb"}
+	got := Approx(vals)
+	if got < int64(2*16+20) {
+		t.Fatalf("string contents not counted: %d", got)
+	}
+}
+
+func TestApproxStructWalksFields(t *testing.T) {
+	type row struct {
+		Name   string
+		Counts []int64
+	}
+	r := row{Name: "publisher", Counts: make([]int64, 100)}
+	if got := Approx(r); got < 800 {
+		t.Fatalf("struct fields not walked: %d", got)
+	}
+}
+
+func TestApproxPointerDedup(t *testing.T) {
+	shared := &[4096]int64{}
+	type pair struct{ A, B *[4096]int64 }
+	once := Approx(pair{A: shared, B: shared})
+	twice := Approx(pair{A: shared, B: &[4096]int64{}})
+	// The shared pointee must be counted once: two distinct arrays cost
+	// roughly one more array than two aliases of the same array.
+	if twice-once < 4096*8/2 {
+		t.Fatalf("pointer dedup broken: aliased %d, distinct %d", once, twice)
+	}
+}
+
+func TestApproxMapCountsEntries(t *testing.T) {
+	m := map[string]int64{}
+	for i := 0; i < 100; i++ {
+		m[fmt.Sprintf("key-%03d", i)] = int64(i)
+	}
+	if got := Approx(m); got < 100*mapBucketOverhead {
+		t.Fatalf("map entries not counted: %d", got)
+	}
+}

@@ -1,0 +1,76 @@
+package registry
+
+import (
+	"strconv"
+
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gdelt"
+)
+
+// Common parameters accepted by every query kind, on top of each
+// descriptor's own schema: they shape the engine view (parallelism and
+// capture-time window), not the query.
+const (
+	ParamWorkers = "workers"
+	ParamFrom    = "from"
+	ParamTo      = "to"
+)
+
+// IsCommonParam reports whether name is one of the engine-view parameters
+// every kind accepts.
+func IsCommonParam(name string) bool {
+	return name == ParamWorkers || name == ParamFrom || name == ParamTo
+}
+
+// DeriveEngine applies the common parameters to a base engine view:
+// workers pins the parallel worker count (0 restores the default), and
+// from/to restrict scans to the capture intervals of a timestamp window.
+// Transport concerns (request context, kind label) stay with the caller;
+// errors are parameter errors (IsBadParam).
+func DeriveEngine(e *engine.Engine, get func(name string) []string) (*engine.Engine, error) {
+	one := func(name string) string {
+		v := get(name)
+		if len(v) == 0 {
+			return ""
+		}
+		return v[len(v)-1]
+	}
+	if ws := one(ParamWorkers); ws != "" {
+		w, err := strconv.Atoi(ws)
+		if err != nil || w < 0 {
+			return nil, BadParamf("invalid workers %q", ws)
+		}
+		e = e.WithWorkers(w)
+	}
+	from, to := one(ParamFrom), one(ParamTo)
+	if from != "" || to != "" {
+		db := e.DB()
+		base := db.Meta.Start.IntervalIndex()
+		lo, hi := int64(0), int64(db.Meta.Intervals)
+		if from != "" {
+			ts, err := gdelt.ParseTimestamp(from)
+			if err != nil {
+				return nil, BadParamf("invalid from: %v", err)
+			}
+			lo = ts.IntervalIndex() - base
+		}
+		if to != "" {
+			ts, err := gdelt.ParseTimestamp(to)
+			if err != nil {
+				return nil, BadParamf("invalid to: %v", err)
+			}
+			hi = ts.IntervalIndex() - base
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > int64(db.Meta.Intervals) {
+			hi = int64(db.Meta.Intervals)
+		}
+		if hi < lo {
+			return nil, BadParamf("empty window")
+		}
+		e = e.WithInterval(int32(lo), int32(hi))
+	}
+	return e, nil
+}

@@ -1,0 +1,290 @@
+package registry
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gdeltmine/internal/convert"
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gen"
+	"gdeltmine/internal/obs"
+	"gdeltmine/internal/qcache"
+	"gdeltmine/internal/store"
+	"gdeltmine/internal/stream"
+)
+
+var cachedDB *store.DB
+
+func testDB(t testing.TB) *store.DB {
+	t.Helper()
+	if cachedDB == nil {
+		c, err := gen.Generate(gen.Small())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := convert.FromCorpus(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedDB = res.DB
+	}
+	return cachedDB
+}
+
+// scanCounter returns the engine's scan counter for a kind label; obs
+// deduplicates by name+labels, so this is the same counter the engine
+// increments.
+func scanCounter(kind string) *obs.Counter {
+	return obs.Default.Counter("engine_scans_total", "scan kernels executed", obs.L("kind", kind))
+}
+
+func defaultParams(t *testing.T, d *Descriptor) Params {
+	t.Helper()
+	p, err := d.ParseParams(func(string) []string { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNilExecutorBypasses(t *testing.T) {
+	db := testDB(t)
+	d := MustLookup("stats")
+	e := engine.New(db).WithKind(d.Kind)
+	p := defaultParams(t, d)
+
+	var ex *Executor
+	v, out, err := ex.Execute(d, e, p)
+	if err != nil || v == nil || out != qcache.Bypass {
+		t.Fatalf("nil executor: %v %v %v", v, out, err)
+	}
+	v, out, err = (&Executor{}).Execute(d, e, p)
+	if err != nil || v == nil || out != qcache.Bypass {
+		t.Fatalf("nil cache: %v %v %v", v, out, err)
+	}
+}
+
+func TestExecutorMissThenHit(t *testing.T) {
+	db := testDB(t)
+	d := MustLookup("top-publishers")
+	ex := &Executor{Cache: qcache.New(0)}
+	e := engine.New(db).WithKind(d.Kind)
+	p := defaultParams(t, d)
+
+	scans := scanCounter(d.Kind)
+	before := scans.Value()
+	v1, out, err := ex.Execute(d, e, p)
+	if err != nil || out != qcache.Miss {
+		t.Fatalf("first: %v %v", out, err)
+	}
+	if scans.Value() != before+1 {
+		t.Fatalf("miss ran %d scans, want 1", scans.Value()-before)
+	}
+	v2, out, err := ex.Execute(d, e, p)
+	if err != nil || out != qcache.Hit {
+		t.Fatalf("second: %v %v", out, err)
+	}
+	if scans.Value() != before+1 {
+		t.Fatalf("hit ran a scan: %d total", scans.Value()-before)
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatal("hit returned a different result")
+	}
+	// Different k = different canonical params = different entry.
+	p5, err := d.ParseParams(func(name string) []string {
+		if name == "k" {
+			return []string{"5"}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, out, _ := ex.Execute(d, e, p5); out != qcache.Miss {
+		t.Fatalf("distinct params outcome %v, want miss", out)
+	}
+}
+
+func TestExecutorWindowIsPartOfKey(t *testing.T) {
+	db := testDB(t)
+	d := MustLookup("stats")
+	ex := &Executor{Cache: qcache.New(0)}
+	p := defaultParams(t, d)
+
+	full := engine.New(db).WithKind(d.Kind)
+	if _, out, _ := ex.Execute(d, full, p); out != qcache.Miss {
+		t.Fatal("full window should miss")
+	}
+	windowed := full.WithInterval(0, db.Meta.Intervals/2)
+	v, out, err := ex.Execute(d, windowed, p)
+	if err != nil || out != qcache.Miss {
+		t.Fatalf("windowed view must have its own key: %v %v", out, err)
+	}
+	if v == nil {
+		t.Fatal("windowed result nil")
+	}
+	if _, out, _ := ex.Execute(d, windowed, p); out != qcache.Hit {
+		t.Fatal("repeated windowed query should hit")
+	}
+}
+
+// TestSingleFlight32Goroutines is the ISSUE's concurrency acceptance test:
+// 32 goroutines requesting the same descriptor concurrently result in
+// exactly one underlying scan, one miss, 31 hits or coalesced waiters, and
+// byte-identical results.
+func TestSingleFlight32Goroutines(t *testing.T) {
+	db := testDB(t)
+	d := MustLookup("top-publishers")
+	ex := &Executor{Cache: qcache.New(0)}
+	e := engine.New(db).WithKind(d.Kind)
+	p := defaultParams(t, d)
+
+	scans := scanCounter(d.Kind)
+	before := scans.Value()
+
+	const goroutines = 32
+	var (
+		wg       sync.WaitGroup
+		start    = make(chan struct{})
+		results  [goroutines]any
+		outcomes [goroutines]qcache.Outcome
+		errs     [goroutines]error
+	)
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			results[i], outcomes[i], errs[i] = ex.Execute(d, e, p)
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := scans.Value() - before; got != 1 {
+		t.Fatalf("%d goroutines ran %d scans, want exactly 1", goroutines, got)
+	}
+	var miss, served int
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		switch outcomes[i] {
+		case qcache.Miss:
+			miss++
+		case qcache.Hit, qcache.Coalesced:
+			served++
+		default:
+			t.Fatalf("goroutine %d outcome %v", i, outcomes[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("goroutine %d result diverges", i)
+		}
+	}
+	if miss != 1 || served != goroutines-1 {
+		t.Fatalf("miss=%d served=%d, want 1 and %d", miss, served, goroutines-1)
+	}
+}
+
+func TestVersionBumpInvalidates(t *testing.T) {
+	db := testDB(t)
+	d := MustLookup("top-publishers")
+	ex := &Executor{Cache: qcache.New(0)}
+	e := engine.New(db).WithKind(d.Kind)
+	p := defaultParams(t, d)
+
+	if _, out, _ := ex.Execute(d, e, p); out != qcache.Miss {
+		t.Fatal("want initial miss")
+	}
+	if _, out, _ := ex.Execute(d, e, p); out != qcache.Hit {
+		t.Fatal("want hit at stable version")
+	}
+	db.BumpVersion()
+	scans := scanCounter(d.Kind)
+	before := scans.Value()
+	if _, out, _ := ex.Execute(d, e, p); out != qcache.Miss {
+		t.Fatal("version bump must retire the cached result")
+	}
+	if scans.Value() <= before {
+		t.Fatal("post-bump query did not rescan")
+	}
+}
+
+// TestStreamAppendInvalidates proves the end-to-end invalidation protocol:
+// a monitor bound to the store bumps the snapshot version on every folded
+// feed chunk, which forces the next identical query to recompute.
+func TestStreamAppendInvalidates(t *testing.T) {
+	db := testDB(t)
+	d := MustLookup("top-publishers")
+	ex := &Executor{Cache: qcache.New(0)}
+	e := engine.New(db).WithKind(d.Kind)
+	p := defaultParams(t, d)
+
+	if _, out, _ := ex.Execute(d, e, p); out != qcache.Miss {
+		t.Fatal("want initial miss")
+	}
+	if _, out, _ := ex.Execute(d, e, p); out != qcache.Hit {
+		t.Fatal("want hit before the append")
+	}
+
+	m := stream.NewMonitor(db.Meta.Start, stream.Config{})
+	m.BindStore(db)
+	v0 := db.Version()
+	m.MarkChunk(db.Meta.Start) // one folded feed chunk = one append
+	if db.Version() != v0+1 {
+		t.Fatalf("version %d after append, want %d", db.Version(), v0+1)
+	}
+	if _, out, _ := ex.Execute(d, e, p); out != qcache.Miss {
+		t.Fatal("append must invalidate the cached result")
+	}
+	if _, out, _ := ex.Execute(d, e, p); out != qcache.Hit {
+		t.Fatal("fresh result should cache at the new version")
+	}
+}
+
+// TestCancelledComputationNotCached: a context cancelled mid-execution must
+// surface as the context error and leave nothing poisoned in the cache.
+func TestCancelledComputationNotCached(t *testing.T) {
+	db := testDB(t)
+	d := MustLookup("stats")
+	ex := &Executor{Cache: qcache.New(0)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the scan even starts: worst-case partial
+	e := engine.New(db).WithContext(ctx).WithKind(d.Kind)
+	p := defaultParams(t, d)
+
+	_, _, err := ex.Execute(d, e, p)
+	if err == nil {
+		t.Fatal("cancelled execution returned no error")
+	}
+	// The next request with a live context recomputes: nothing was cached.
+	live := engine.New(db).WithKind(d.Kind)
+	if _, out, _ := ex.Execute(d, live, p); out != qcache.Miss {
+		t.Fatal("cancelled partial result was cached")
+	}
+}
+
+func TestDeriveEngineCommonParams(t *testing.T) {
+	db := testDB(t)
+	base := engine.New(db)
+
+	e, err := DeriveEngine(base, getter(map[string][]string{"workers": {"3"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers() != 3 {
+		t.Fatalf("workers %d", e.Workers())
+	}
+	if e == base {
+		t.Fatal("DeriveEngine must return a derived view, not the receiver")
+	}
+	if _, err := DeriveEngine(base, getter(map[string][]string{"workers": {"-1"}})); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := DeriveEngine(base, getter(map[string][]string{"from": {"bogus"}})); err == nil {
+		t.Fatal("unparseable from accepted")
+	}
+}

@@ -1,0 +1,374 @@
+package registry
+
+import (
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/queries"
+)
+
+// The named result types below freeze the JSON shapes the HTTP API serves;
+// before the registry they lived as anonymous structs inside individual
+// handlers. Query kinds whose natural result type already encodes well
+// (queries.DatasetStats, []queries.TopEvent, ...) return it directly.
+
+// Defect is one row of the defects report (Table II classes).
+type Defect struct {
+	Class string `json:"class"`
+	Count int64  `json:"count"`
+}
+
+// PublisherRow is one ranked publisher with its article count.
+type PublisherRow struct {
+	Rank     int    `json:"rank"`
+	Source   string `json:"source"`
+	Articles int64  `json:"articles"`
+}
+
+// EventSizeResult is the Figure 2 distribution with its power-law fit.
+type EventSizeResult struct {
+	Counts []int64 `json:"counts"`
+	Alpha  float64 `json:"alpha"`
+	R2     float64 `json:"r2"`
+}
+
+// CountryResult is the k×k corner of the aggregated country query
+// (Tables V, VI, VII).
+type CountryResult struct {
+	Reported    []string    `json:"reported"`
+	Publishing  []string    `json:"publishing"`
+	Cross       [][]int64   `json:"cross"`
+	Percent     [][]float64 `json:"percent"`
+	CoReporting [][]float64 `json:"coReporting"`
+}
+
+// FollowResult is the follow-reporting matrix (Table IV).
+type FollowResult struct {
+	Names   []string    `json:"names"`
+	F       [][]float64 `json:"f"`
+	ColSums []float64   `json:"colSums"`
+}
+
+// CoReportResult is the co-reporting Jaccard matrix among top publishers.
+type CoReportResult struct {
+	Names   []string    `json:"names"`
+	Jaccard [][]float64 `json:"jaccard"`
+}
+
+// CountResult is the article count matching a filter expression.
+type CountResult struct {
+	Where    string `json:"where"`
+	Articles int64  `json:"articles"`
+}
+
+// TranslatedShareResult is the per-quarter share of machine-translated
+// articles.
+type TranslatedShareResult struct {
+	Labels []string  `json:"labels"`
+	Share  []float64 `json:"share"`
+}
+
+// clampK caps a requested k against a dataset-dependent bound that the
+// static schema cannot know.
+func clampK(k, n int) int {
+	if k > n {
+		return n
+	}
+	return k
+}
+
+func kParam(help string) ParamSpec {
+	return ParamSpec{Name: "k", Type: IntParam, Default: "10", Help: help}
+}
+
+func whereParam() ParamSpec {
+	return ParamSpec{Name: "where", Type: StringParam, Default: "",
+		Help: "qlang filter expression (empty matches every article)"}
+}
+
+// topPublisherRows resolves ids/counts into ranked display rows.
+func topPublisherRows(e *engine.Engine, ids []int32, counts []int64) []PublisherRow {
+	db := e.DB()
+	out := make([]PublisherRow, len(ids))
+	for i := range ids {
+		out[i] = PublisherRow{Rank: i + 1, Source: db.Sources.Name(ids[i]), Articles: counts[i]}
+	}
+	return out
+}
+
+func init() {
+	register(&Descriptor{
+		Kind: "stats",
+		Help: "dataset summary statistics (Table I)",
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			return queries.Dataset(e), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind: "defects",
+		Help: "input defect classes observed during conversion (Table II)",
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			out := make([]Defect, 0, len(e.DB().Report.Counts))
+			for c, n := range e.DB().Report.Counts {
+				out = append(out, Defect{Class: gdelt.DefectClass(c).String(), Count: n})
+			}
+			return out, nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind:   "top-publishers",
+		Help:   "k most productive publishers by article count",
+		Params: []ParamSpec{kParam("number of publishers")},
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			k := clampK(p.Int("k"), e.DB().Sources.Len())
+			ids, counts := queries.TopPublishers(e, k)
+			return topPublisherRows(e, ids, counts), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind:   "top-events",
+		Help:   "k most reported events (Table III)",
+		Params: []ParamSpec{kParam("number of events")},
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			return queries.TopEvents(e, clampK(p.Int("k"), e.DB().Events.Len())), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind: "event-sizes",
+		Help: "event size distribution with power-law fit (Figure 2)",
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			d := queries.EventSizes(e, 2)
+			return EventSizeResult{Counts: d.Counts, Alpha: d.Fit.Alpha, R2: d.Fit.R2}, nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind: "country",
+		Help: "aggregated country cross-/co-reporting query (Tables V-VII)",
+		Params: []ParamSpec{{Name: "k", Type: IntParam, Default: "10", Max: len(gdelt.Countries),
+			Help: "matrix corner size"}},
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			cr, err := queries.CountryQuery(e)
+			if err != nil {
+				return nil, err
+			}
+			k := clampK(p.Int("k"), len(cr.TopReported))
+			k = clampK(k, len(cr.TopPublishing))
+			rows := cr.TopReported[:k]
+			cols := cr.TopPublishing[:k]
+			name := func(idx []int) []string {
+				out := make([]string, len(idx))
+				for i, c := range idx {
+					out[i] = gdelt.Countries[c].Name
+				}
+				return out
+			}
+			cross := make([][]int64, k)
+			pct := make([][]float64, k)
+			co := make([][]float64, k)
+			for i := 0; i < k; i++ {
+				cross[i] = make([]int64, k)
+				pct[i] = make([]float64, k)
+				co[i] = make([]float64, k)
+				for j := 0; j < k; j++ {
+					cross[i][j] = cr.Cross.At(rows[i], cols[j])
+					pct[i][j] = cr.Fractions.At(rows[i], cols[j])
+					co[i][j] = cr.CoReporting.At(cols[i], cols[j])
+				}
+			}
+			return CountryResult{
+				Reported:    name(rows),
+				Publishing:  name(cols),
+				Cross:       cross,
+				Percent:     pct,
+				CoReporting: co,
+			}, nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind:   "follow",
+		Help:   "follow-reporting fractions among top publishers (Table IV)",
+		Params: []ParamSpec{kParam("number of publishers")},
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			k := clampK(p.Int("k"), e.DB().Sources.Len())
+			ids, _ := queries.TopPublishers(e, k)
+			fr := queries.FollowReport(e, ids)
+			f := make([][]float64, len(ids))
+			for i := range f {
+				f[i] = append([]float64(nil), fr.F.Row(i)...)
+			}
+			return FollowResult{Names: fr.Names, F: f, ColSums: fr.ColSums}, nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind:   "coreport",
+		Help:   "co-reporting Jaccard matrix among top publishers",
+		Params: []ParamSpec{kParam("number of publishers")},
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			k := clampK(p.Int("k"), e.DB().Sources.Len())
+			ids, _ := queries.TopPublishers(e, k)
+			co, err := queries.CoReport(e, ids)
+			if err != nil {
+				return nil, err
+			}
+			jac := make([][]float64, len(ids))
+			for i := range jac {
+				jac[i] = append([]float64(nil), co.Jaccard.Row(i)...)
+			}
+			return CoReportResult{Names: co.Names, Jaccard: jac}, nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind:   "delays",
+		Help:   "publishing delay statistics of top publishers (Table VIII)",
+		Params: []ParamSpec{kParam("number of publishers")},
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			k := clampK(p.Int("k"), e.DB().Sources.Len())
+			ids, _ := queries.TopPublishers(e, k)
+			return queries.PublisherDelays(e, ids), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind: "quarterly-delay",
+		Help: "mean publishing delay per quarter (Figure 10)",
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			return queries.QuarterlyDelays(e), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind: "series-articles",
+		Help: "articles per quarter (Figure 4)",
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			return queries.ArticlesPerQuarter(e), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind: "series-events",
+		Help: "events per quarter (Figure 5)",
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			return queries.EventsPerQuarter(e), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind: "series-active-sources",
+		Help: "active sources per quarter (Figure 6)",
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			return queries.ActiveSourcesPerQuarter(e), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind: "series-slow-articles",
+		Help: "slow articles (delay > 1 interval) per quarter (Figure 11)",
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			return queries.SlowArticlesPerQuarter(e), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind: "wildfires",
+		Help: "fastest-spreading events by distinct early sources",
+		Params: []ParamSpec{
+			{Name: "window", Type: IntParam, Default: "8", Max: 1 << 20,
+				Help: "early window in capture intervals"},
+			{Name: "min", Type: IntParam, Default: "5", Max: 1 << 20,
+				Help: "minimum distinct sources in the window"},
+			{Name: "k", Type: IntParam, Default: "10", Max: 1000,
+				Help: "number of events"},
+		},
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			return queries.FastSpreadingEvents(e, int32(p.Int("window")), p.Int("min"), p.Int("k")), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind:   "count",
+		Help:   "count articles matching a filter expression",
+		Params: []ParamSpec{whereParam()},
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			expr := p.Str("where")
+			n, err := queries.CountWhere(e, expr)
+			if err != nil {
+				return nil, BadParam(err)
+			}
+			return CountResult{Where: expr, Articles: n}, nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind:   "filtered-publishers",
+		Help:   "top publishers among articles matching a filter expression",
+		Params: []ParamSpec{whereParam(), kParam("number of publishers")},
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			k := clampK(p.Int("k"), e.DB().Sources.Len())
+			ids, counts, err := queries.TopPublishersWhere(e, p.Str("where"), k)
+			if err != nil {
+				return nil, BadParam(err)
+			}
+			return topPublisherRows(e, ids, counts), nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind:   "filtered-series",
+		Help:   "articles per quarter among articles matching a filter expression",
+		Params: []ParamSpec{whereParam()},
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			s, err := queries.ArticlesPerQuarterWhere(e, p.Str("where"))
+			if err != nil {
+				return nil, BadParam(err)
+			}
+			return s, nil
+		},
+	})
+
+	register(&Descriptor{
+		Kind:     "themes",
+		Help:     "most frequent GKG themes",
+		Params:   []ParamSpec{{Name: "k", Type: IntParam, Default: "10", Max: 1000, Help: "number of themes"}},
+		NeedsGKG: true,
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			return queries.TopThemes(e, p.Int("k"))
+		},
+	})
+
+	register(&Descriptor{
+		Kind: "theme-trends",
+		Help: "per-quarter article counts of named GKG themes",
+		Params: []ParamSpec{{Name: "theme", Type: StringListParam, Required: true,
+			Help: "theme name (repeatable)"}},
+		NeedsGKG: true,
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			return queries.ThemeTrends(e, p.Strings("theme"))
+		},
+	})
+
+	register(&Descriptor{
+		Kind:     "translated-share",
+		Help:     "per-quarter share of machine-translated articles",
+		NeedsGKG: true,
+		Run: func(e *engine.Engine, p Params) (any, error) {
+			labels, share, err := queries.TranslatedShare(e)
+			if err != nil {
+				return nil, err
+			}
+			return TranslatedShareResult{Labels: labels, Share: share}, nil
+		},
+	})
+
+	// Legacy spellings kept alive for old CLI invocations and docs.
+	registerAlias("delay", "delays")
+	registerAlias("quarterly", "quarterly-delay")
+	registerAlias("publishers", "top-publishers")
+	registerAlias("events", "top-events")
+}

@@ -55,9 +55,16 @@ func kindOf(r *http.Request) string {
 
 // handle mounts h on mux under path, instrumented as the given query kind.
 func (s *Server) handle(mux *http.ServeMux, path, kind string, h http.HandlerFunc) {
+	mux.HandleFunc(path, s.instrument(kind, h))
+}
+
+// instrument wraps h with the per-endpoint metrics (request counter,
+// latency histogram, error counter) and stores the kind in the request
+// context for the shared error/timeout helpers.
+func (s *Server) instrument(kind string, h http.HandlerFunc) http.HandlerFunc {
 	em := newEndpointMetrics(kind)
 	s.endpoints[kind] = em
-	mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		r = r.WithContext(context.WithValue(r.Context(), ctxKeyKind{}, kind))
 		sw := &statusWriter{ResponseWriter: w}
@@ -67,7 +74,7 @@ func (s *Server) handle(mux *http.ServeMux, path, kind string, h http.HandlerFun
 		if sw.status >= 400 {
 			em.errors.Inc()
 		}
-	})
+	}
 }
 
 // statusWriter records the response status for the error counter.

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"gdeltmine/internal/obs"
 )
 
 // Config tunes the server's protective limits. The zero value disables all
@@ -25,6 +27,10 @@ type Config struct {
 	// Off by default: profiling endpoints expose internals and cost CPU,
 	// so they are opt-in per deployment.
 	EnablePprof bool
+	// CacheBytes is the approximate memory budget of the query result
+	// cache. Zero selects qcache.DefaultMaxBytes; a negative value
+	// disables caching entirely (every request scans).
+	CacheBytes int64
 }
 
 // jsonError writes the uniform error envelope every failure path uses:
@@ -34,15 +40,33 @@ func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // jsonErrorQuery is jsonError with the query kind named in the envelope,
-// so a client that fans out requests can attribute a timeout to the query
-// that caused it: {"error": "...", "query": "country"}.
+// so a client that fans out requests can attribute a failure to the query
+// that caused it: {"error": "...", "kind": "country"}. The legacy "query"
+// field carries the same value for clients written against the
+// unversioned API.
 func jsonErrorQuery(w http.ResponseWriter, status int, kind, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(struct {
 		Error string `json:"error"`
+		Kind  string `json:"kind,omitempty"`
 		Query string `json:"query,omitempty"`
-	}{fmt.Sprintf(format, args...), kind})
+	}{fmt.Sprintf(format, args...), kind, kind})
+}
+
+// deprecate wraps a legacy unversioned endpoint: responses carry a
+// Deprecation header plus a Link to the successor /api/v1 path, and a
+// per-endpoint counter tracks how much traffic still arrives on the old
+// spelling so its removal can be scheduled on evidence.
+func (s *Server) deprecate(kind, successor string, h http.HandlerFunc) http.HandlerFunc {
+	c := obs.Default.Counter("http_deprecated_requests_total",
+		"requests served on deprecated unversioned /api/ paths", obs.L("endpoint", kind))
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		c.Inc()
+		h(w, r)
+	}
 }
 
 // SetReady flips the /readyz probe. A freshly constructed server is ready

@@ -1,21 +1,34 @@
 // Package serve exposes the analysis engine over HTTP/JSON — the
 // language-agnostic realization of the paper's planned "Python interface
-// for ease of use". One loaded dataset serves concurrent read-only queries;
-// every endpoint accepts optional workers, from and to parameters to pin
-// parallelism and restrict the capture-time window.
+// for ease of use". One loaded dataset serves concurrent read-only queries.
+//
+// Routing is registry-driven: every query kind registered in
+// internal/registry is served under /api/v1/<kind>, parameters validated
+// against the kind's schema, results produced by the kind's Run function
+// and memoized in a snapshot-keyed result cache (internal/qcache) with
+// single-flight execution — N concurrent identical requests cost one scan.
+// The pre-versioning /api/<endpoint> paths remain mounted as deprecated
+// aliases: same results, same cache, plus a Deprecation header and a
+// counter so operators can watch old clients drain before removal.
+//
+// Every endpoint accepts the common workers, from and to parameters to pin
+// parallelism and restrict the capture-time window, and every failure path
+// answers with the uniform JSON envelope {"error": ..., "kind": ...}.
 package serve
 
 import (
+	"context"
 	"encoding/json"
-	"fmt"
+	"errors"
 	"net/http"
-	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"gdeltmine/internal/engine"
-	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/obs"
+	"gdeltmine/internal/qcache"
 	"gdeltmine/internal/queries"
+	"gdeltmine/internal/registry"
 	"gdeltmine/internal/store"
 )
 
@@ -29,36 +42,70 @@ type Server struct {
 	ready     atomic.Bool
 	inFlight  atomic.Int64
 	endpoints map[string]*endpointMetrics
+	exec      *registry.Executor
+	// v1 maps canonical kind -> instrumented handler, built once at
+	// construction so the /metrics inventory is complete before traffic.
+	v1 map[string]http.HandlerFunc
 }
 
-// New returns a server over the database with no protective limits.
+// legacyEndpoints maps the deprecated unversioned paths to registry kinds.
+// The series paths are handled separately (one legacy endpoint fans out to
+// four registered kinds).
+var legacyEndpoints = []struct{ path, kind string }{
+	{"/api/stats", "stats"},
+	{"/api/defects", "defects"},
+	{"/api/top-publishers", "top-publishers"},
+	{"/api/top-events", "top-events"},
+	{"/api/event-sizes", "event-sizes"},
+	{"/api/country", "country"},
+	{"/api/follow", "follow"},
+	{"/api/coreport", "coreport"},
+	{"/api/delays", "delays"},
+	{"/api/quarterly-delay", "quarterly-delay"},
+	{"/api/wildfires", "wildfires"},
+	{"/api/count", "count"},
+	{"/api/themes", "themes"},
+	{"/api/theme-trends", "theme-trends"},
+	{"/api/translated-share", "translated-share"},
+}
+
+// New returns a server over the database with no protective limits and the
+// default result-cache budget.
 func New(db *store.DB) *Server { return NewWithConfig(db, Config{}) }
 
-// NewWithConfig returns a server with the given timeout and load-shedding
-// limits applied to every query endpoint.
+// NewWithConfig returns a server with the given timeout, load-shedding and
+// cache limits applied to every query endpoint.
 func NewWithConfig(db *store.DB, cfg Config) *Server {
 	s := &Server{db: db, eng: engine.New(db), cfg: cfg, endpoints: make(map[string]*endpointMetrics)}
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
+	if cfg.CacheBytes < 0 {
+		s.exec = &registry.Executor{} // caching disabled: every query scans
+	} else {
+		s.exec = &registry.Executor{Cache: qcache.New(cfg.CacheBytes)}
+	}
 	s.ready.Store(true)
 	mux := http.NewServeMux()
-	s.handle(mux, "/api/stats", "stats", s.handleStats)
-	s.handle(mux, "/api/defects", "defects", s.handleDefects)
-	s.handle(mux, "/api/top-publishers", "top-publishers", s.handleTopPublishers)
-	s.handle(mux, "/api/top-events", "top-events", s.handleTopEvents)
-	s.handle(mux, "/api/event-sizes", "event-sizes", s.handleEventSizes)
-	s.handle(mux, "/api/country", "country", s.handleCountry)
-	s.handle(mux, "/api/follow", "follow", s.handleFollow)
-	s.handle(mux, "/api/coreport", "coreport", s.handleCoReport)
-	s.handle(mux, "/api/delays", "delays", s.handleDelays)
-	s.handle(mux, "/api/quarterly-delay", "quarterly-delay", s.handleQuarterlyDelay)
-	s.handle(mux, "/api/series/", "series", s.handleSeries)
-	s.handle(mux, "/api/wildfires", "wildfires", s.handleWildfires)
-	s.handle(mux, "/api/count", "count", s.handleCount)
-	s.handle(mux, "/api/themes", "themes", s.handleThemes)
-	s.handle(mux, "/api/theme-trends", "theme-trends", s.handleThemeTrends)
-	s.handle(mux, "/api/translated-share", "translated-share", s.handleTranslatedShare)
+	// Versioned surface: one instrumented handler per registered kind,
+	// dispatched by routeV1.
+	s.v1 = make(map[string]http.HandlerFunc)
+	for _, d := range registry.All() {
+		d := d
+		s.v1[d.Kind] = s.instrument(d.Kind, func(w http.ResponseWriter, r *http.Request) {
+			s.serveQuery(w, r, d)
+		})
+	}
+	mux.HandleFunc("/api/v1/", s.routeV1)
+	// Deprecated unversioned aliases: same descriptors, same cache, plus
+	// the Deprecation header and drain counter.
+	for _, l := range legacyEndpoints {
+		d := registry.MustLookup(l.kind)
+		h := func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, d) }
+		s.handle(mux, l.path, l.kind, s.deprecate(l.kind, "/api/v1/"+l.kind, h))
+	}
+	s.handle(mux, "/api/series/", "series",
+		s.deprecate("series", "/api/v1/series-articles", s.legacySeries))
 	// Health probes and the metrics scrape stay outside the protective
 	// chain: a loaded or draining server must still answer liveness checks
 	// and report what it is doing.
@@ -77,66 +124,93 @@ func NewWithConfig(db *store.DB, cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-// queryEngine derives the engine view for a request: worker pinning, time
-// windowing, and the request context — cancelling the request (client
-// disconnect or timeout) stops the engine's parallel scans early.
-func (s *Server) queryEngine(r *http.Request) (*engine.Engine, error) {
-	e := s.eng.WithContext(r.Context())
-	if kind := kindOf(r); kind != "" {
-		e = e.WithKind(kind)
+// Cache returns the server's result cache, or nil when caching is disabled.
+func (s *Server) Cache() *qcache.Cache { return s.exec.Cache }
+
+// routeV1 resolves /api/v1/<kind> against the registry. Unknown kinds get
+// the uniform 404 envelope naming the kind they asked for.
+func (s *Server) routeV1(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/api/v1/")
+	d, ok := registry.Lookup(name)
+	if !ok {
+		jsonErrorQuery(w, http.StatusNotFound, name, "unknown query kind %q", name)
+		return
 	}
-	if ws := r.URL.Query().Get("workers"); ws != "" {
-		w, err := strconv.Atoi(ws)
-		if err != nil || w < 0 {
-			return nil, fmt.Errorf("invalid workers %q", ws)
-		}
-		e = e.WithWorkers(w)
-	}
-	from, to := r.URL.Query().Get("from"), r.URL.Query().Get("to")
-	if from != "" || to != "" {
-		base := s.db.Meta.Start.IntervalIndex()
-		lo, hi := int64(0), int64(s.db.Meta.Intervals)
-		if from != "" {
-			ts, err := gdelt.ParseTimestamp(from)
-			if err != nil {
-				return nil, fmt.Errorf("invalid from: %v", err)
-			}
-			lo = ts.IntervalIndex() - base
-		}
-		if to != "" {
-			ts, err := gdelt.ParseTimestamp(to)
-			if err != nil {
-				return nil, fmt.Errorf("invalid to: %v", err)
-			}
-			hi = ts.IntervalIndex() - base
-		}
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > int64(s.db.Meta.Intervals) {
-			hi = int64(s.db.Meta.Intervals)
-		}
-		if hi < lo {
-			return nil, fmt.Errorf("empty window")
-		}
-		e = e.WithInterval(int32(lo), int32(hi))
-	}
-	return e, nil
+	s.v1[d.Kind](w, r)
 }
 
-func intParam(r *http.Request, name string, def, max int) (int, error) {
-	v := r.URL.Query().Get(name)
-	if v == "" {
-		return def, nil
+// legacySeries fans the old /api/series/<which> paths out to the four
+// registered series kinds, keeping the single "series" metric label the
+// unversioned surface always had.
+func (s *Server) legacySeries(w http.ResponseWriter, r *http.Request) {
+	var kind string
+	switch r.URL.Path {
+	case "/api/series/articles":
+		kind = "series-articles"
+	case "/api/series/events":
+		kind = "series-events"
+	case "/api/series/active-sources":
+		kind = "series-active-sources"
+	case "/api/series/slow-articles":
+		kind = "series-slow-articles"
+	default:
+		jsonErrorQuery(w, http.StatusNotFound, kindOf(r), "unknown series %q", r.URL.Path)
+		return
 	}
-	n, err := strconv.Atoi(v)
-	if err != nil || n < 1 {
-		return 0, fmt.Errorf("invalid %s %q", name, v)
+	s.serveQuery(w, r, registry.MustLookup(kind))
+}
+
+// serveQuery is the one code path every query endpoint runs: derive the
+// engine view from the common parameters, validate the kind's own
+// parameters against its schema, and execute through the cache. The
+// X-Cache header reports how the result was obtained (hit, miss,
+// coalesced) so clients and benchmarks can tell a scan from a lookup.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, d *registry.Descriptor) {
+	kind := kindOf(r)
+	q := r.URL.Query()
+	e := s.eng.WithContext(r.Context())
+	if kind != "" {
+		e = e.WithKind(kind)
 	}
-	if n > max {
-		n = max
+	e, err := registry.DeriveEngine(e, func(name string) []string { return q[name] })
+	if err != nil {
+		jsonErrorQuery(w, http.StatusBadRequest, kind, "%v", err)
+		return
 	}
-	return n, nil
+	p, err := d.ParseURLValues(q)
+	if err != nil {
+		jsonErrorQuery(w, http.StatusBadRequest, kind, "%v", err)
+		return
+	}
+	v, outcome, err := s.exec.Execute(d, e, p)
+	if err != nil {
+		s.queryError(w, kind, err)
+		return
+	}
+	if outcome != qcache.Bypass {
+		w.Header().Set("X-Cache", outcome.String())
+	}
+	writeJSON(w, r, v)
+}
+
+// queryError maps an execution error to its transport status: cancellation
+// to 504 (with the timeout counter the dashboards watch), parameter errors
+// to 400, a missing GKG to 404, anything else to 500.
+func (s *Server) queryError(w http.ResponseWriter, kind string, err error) {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if kind != "" {
+			obs.Default.Counter("queries_timeout_total",
+				"queries abandoned by timeout or client disconnect", obs.L("kind", kind)).Inc()
+		}
+		jsonErrorQuery(w, http.StatusGatewayTimeout, kind, "request cancelled: %v", err)
+	case registry.IsBadParam(err):
+		jsonErrorQuery(w, http.StatusBadRequest, kind, "%v", err)
+	case errors.Is(err, queries.ErrNoGKG):
+		jsonErrorQuery(w, http.StatusNotFound, kind, "%v", err)
+	default:
+		jsonErrorQuery(w, http.StatusInternalServerError, kind, "%v", err)
+	}
 }
 
 // writeJSON sends v, unless the request was cancelled or timed out while
@@ -160,333 +234,4 @@ func writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	if err := enc.Encode(v); err != nil {
 		jsonError(w, http.StatusInternalServerError, "encoding response: %v", err)
 	}
-}
-
-func badRequest(w http.ResponseWriter, err error) {
-	jsonError(w, http.StatusBadRequest, "%v", err)
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	writeJSON(w, r, queries.Dataset(e))
-}
-
-func (s *Server) handleDefects(w http.ResponseWriter, r *http.Request) {
-	type defect struct {
-		Class string `json:"class"`
-		Count int64  `json:"count"`
-	}
-	var out []defect
-	for c, n := range s.db.Report.Counts {
-		out = append(out, defect{Class: gdelt.DefectClass(c).String(), Count: n})
-	}
-	writeJSON(w, r, out)
-}
-
-func (s *Server) handleTopPublishers(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	k, err := intParam(r, "k", 10, s.db.Sources.Len())
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	ids, counts := queries.TopPublishers(e, k)
-	type row struct {
-		Rank     int    `json:"rank"`
-		Source   string `json:"source"`
-		Articles int64  `json:"articles"`
-	}
-	out := make([]row, len(ids))
-	for i := range ids {
-		out[i] = row{Rank: i + 1, Source: s.db.Sources.Name(ids[i]), Articles: counts[i]}
-	}
-	writeJSON(w, r, out)
-}
-
-func (s *Server) handleTopEvents(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	k, err := intParam(r, "k", 10, s.db.Events.Len())
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	writeJSON(w, r, queries.TopEvents(e, k))
-}
-
-func (s *Server) handleEventSizes(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	d := queries.EventSizes(e, 2)
-	out := struct {
-		Counts []int64 `json:"counts"`
-		Alpha  float64 `json:"alpha"`
-		R2     float64 `json:"r2"`
-	}{Counts: d.Counts, Alpha: d.Fit.Alpha, R2: d.Fit.R2}
-	writeJSON(w, r, out)
-}
-
-func (s *Server) handleCountry(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	k, err := intParam(r, "k", 10, len(gdelt.Countries))
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	cr, err := queries.CountryQuery(e)
-	if err != nil {
-		jsonError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	rows := cr.TopReported[:k]
-	cols := cr.TopPublishing[:k]
-	name := func(idx []int) []string {
-		out := make([]string, len(idx))
-		for i, c := range idx {
-			out[i] = gdelt.Countries[c].Name
-		}
-		return out
-	}
-	cross := make([][]int64, k)
-	pct := make([][]float64, k)
-	co := make([][]float64, k)
-	for i := 0; i < k; i++ {
-		cross[i] = make([]int64, k)
-		pct[i] = make([]float64, k)
-		co[i] = make([]float64, k)
-		for j := 0; j < k; j++ {
-			cross[i][j] = cr.Cross.At(rows[i], cols[j])
-			pct[i][j] = cr.Fractions.At(rows[i], cols[j])
-			co[i][j] = cr.CoReporting.At(cols[i], cols[j])
-		}
-	}
-	writeJSON(w, r, struct {
-		Reported    []string    `json:"reported"`
-		Publishing  []string    `json:"publishing"`
-		Cross       [][]int64   `json:"cross"`
-		Percent     [][]float64 `json:"percent"`
-		CoReporting [][]float64 `json:"coReporting"`
-	}{name(rows), name(cols), cross, pct, co})
-}
-
-func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	k, err := intParam(r, "k", 10, s.db.Sources.Len())
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	ids, _ := queries.TopPublishers(e, k)
-	fr := queries.FollowReport(e, ids)
-	f := make([][]float64, k)
-	for i := 0; i < k; i++ {
-		f[i] = append([]float64(nil), fr.F.Row(i)...)
-	}
-	writeJSON(w, r, struct {
-		Names   []string    `json:"names"`
-		F       [][]float64 `json:"f"`
-		ColSums []float64   `json:"colSums"`
-	}{fr.Names, f, fr.ColSums})
-}
-
-func (s *Server) handleCoReport(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	k, err := intParam(r, "k", 10, s.db.Sources.Len())
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	ids, _ := queries.TopPublishers(e, k)
-	co, err := queries.CoReport(e, ids)
-	if err != nil {
-		jsonError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	jac := make([][]float64, k)
-	for i := 0; i < k; i++ {
-		jac[i] = append([]float64(nil), co.Jaccard.Row(i)...)
-	}
-	writeJSON(w, r, struct {
-		Names   []string    `json:"names"`
-		Jaccard [][]float64 `json:"jaccard"`
-	}{co.Names, jac})
-}
-
-func (s *Server) handleDelays(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	k, err := intParam(r, "k", 10, s.db.Sources.Len())
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	ids, _ := queries.TopPublishers(e, k)
-	writeJSON(w, r, queries.PublisherDelays(e, ids))
-}
-
-func (s *Server) handleQuarterlyDelay(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	writeJSON(w, r, queries.QuarterlyDelays(e))
-}
-
-func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	var series queries.QuarterlySeries
-	switch r.URL.Path {
-	case "/api/series/articles":
-		series = queries.ArticlesPerQuarter(e)
-	case "/api/series/events":
-		series = queries.EventsPerQuarter(e)
-	case "/api/series/active-sources":
-		series = queries.ActiveSourcesPerQuarter(e)
-	case "/api/series/slow-articles":
-		series = queries.SlowArticlesPerQuarter(e)
-	default:
-		jsonError(w, http.StatusNotFound, "unknown series %q", r.URL.Path)
-		return
-	}
-	writeJSON(w, r, series)
-}
-
-func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	expr := r.URL.Query().Get("where")
-	n, err := queries.CountWhere(e, expr)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	writeJSON(w, r, struct {
-		Where    string `json:"where"`
-		Articles int64  `json:"articles"`
-	}{expr, n})
-}
-
-// gkgError maps ErrNoGKG to 404 and other errors to 500.
-func gkgError(w http.ResponseWriter, err error) {
-	if err == queries.ErrNoGKG {
-		jsonError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	jsonError(w, http.StatusInternalServerError, "%v", err)
-}
-
-func (s *Server) handleThemes(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	k, err := intParam(r, "k", 10, 1000)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	top, err := queries.TopThemes(e, k)
-	if err != nil {
-		gkgError(w, err)
-		return
-	}
-	writeJSON(w, r, top)
-}
-
-func (s *Server) handleThemeTrends(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	names := r.URL.Query()["theme"]
-	if len(names) == 0 {
-		badRequest(w, fmt.Errorf("at least one theme parameter required"))
-		return
-	}
-	trends, err := queries.ThemeTrends(e, names)
-	if err != nil {
-		gkgError(w, err)
-		return
-	}
-	writeJSON(w, r, trends)
-}
-
-func (s *Server) handleTranslatedShare(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	labels, share, err := queries.TranslatedShare(e)
-	if err != nil {
-		gkgError(w, err)
-		return
-	}
-	writeJSON(w, r, struct {
-		Labels []string  `json:"labels"`
-		Share  []float64 `json:"share"`
-	}{labels, share})
-}
-
-func (s *Server) handleWildfires(w http.ResponseWriter, r *http.Request) {
-	e, err := s.queryEngine(r)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	window, err := intParam(r, "window", 8, 1<<20)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	minSources, err := intParam(r, "min", 5, 1<<20)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	k, err := intParam(r, "k", 10, 1000)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	writeJSON(w, r, queries.FastSpreadingEvents(e, int32(window), minSources, k))
 }

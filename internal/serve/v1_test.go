@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gdeltmine/internal/obs"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestV1MatchesLegacy: the versioned and deprecated surfaces dispatch
+// through the same descriptors and cache, so their bodies must be
+// byte-identical.
+func TestV1MatchesLegacy(t *testing.T) {
+	srv := testServer(t)
+	pairs := []struct{ legacy, v1 string }{
+		{"/api/stats", "/api/v1/stats"},
+		{"/api/defects", "/api/v1/defects"},
+		{"/api/top-publishers?k=5", "/api/v1/top-publishers?k=5"},
+		{"/api/country?k=4", "/api/v1/country?k=4"},
+		{"/api/series/articles", "/api/v1/series-articles"},
+		{"/api/series/slow-articles", "/api/v1/series-slow-articles"},
+		{"/api/wildfires?window=4&min=2&k=5", "/api/v1/wildfires?window=4&min=2&k=5"},
+	}
+	for _, p := range pairs {
+		lr, lbody := get(t, srv, p.legacy)
+		vr, vbody := get(t, srv, p.v1)
+		if lr.StatusCode != 200 || vr.StatusCode != 200 {
+			t.Fatalf("%s=%d %s=%d", p.legacy, lr.StatusCode, p.v1, vr.StatusCode)
+		}
+		if string(lbody) != string(vbody) {
+			t.Fatalf("%s and %s disagree:\n%s\nvs\n%s", p.legacy, p.v1, lbody, vbody)
+		}
+	}
+}
+
+func TestV1ServesAliases(t *testing.T) {
+	srv := testServer(t)
+	canon, cbody := get(t, srv, "/api/v1/top-publishers")
+	alias, abody := get(t, srv, "/api/v1/publishers")
+	if canon.StatusCode != 200 || alias.StatusCode != 200 {
+		t.Fatalf("status %d / %d", canon.StatusCode, alias.StatusCode)
+	}
+	if string(cbody) != string(abody) {
+		t.Fatal("alias body differs from canonical kind")
+	}
+}
+
+func TestLegacyDeprecationHeaderAndCounter(t *testing.T) {
+	srv := testServer(t)
+	c := obs.Default.Counter("http_deprecated_requests_total",
+		"requests served on deprecated unversioned /api/ paths", obs.L("endpoint", "stats"))
+	before := c.Value()
+	resp, _ := get(t, srv, "/api/stats")
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy path missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); link != `</api/v1/stats>; rel="successor-version"` {
+		t.Fatalf("Link header %q", link)
+	}
+	if c.Value() != before+1 {
+		t.Fatalf("deprecated counter delta %d, want 1", c.Value()-before)
+	}
+	// The versioned path carries neither.
+	resp, _ = get(t, srv, "/api/v1/stats")
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("/api/v1 must not be marked deprecated")
+	}
+	if c.Value() != before+1 {
+		t.Fatal("v1 request bumped the deprecated counter")
+	}
+}
+
+func TestV1UnknownKindEnvelope(t *testing.T) {
+	srv := testServer(t)
+	var env struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	resp, body := get(t, srv, "/api/v1/no-such-kind")
+	if resp.StatusCode != 404 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("404 body %q is not the JSON envelope: %v", body, err)
+	}
+	if env.Error == "" || env.Kind != "no-such-kind" {
+		t.Fatalf("envelope %+v must name the kind", env)
+	}
+}
+
+func TestV1BadParamEnvelope(t *testing.T) {
+	srv := testServer(t)
+	var env struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	resp, body := get(t, srv, "/api/v1/top-publishers?k=banana")
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("400 body %q: %v", body, err)
+	}
+	if env.Error == "" || env.Kind != "top-publishers" {
+		t.Fatalf("envelope %+v", env)
+	}
+}
+
+// TestV1CacheHitServesWithoutScan is the ISSUE's serving acceptance test: a
+// repeated identical request answers from the cache (X-Cache: hit) and runs
+// zero engine scans.
+func TestV1CacheHitServesWithoutScan(t *testing.T) {
+	srv := testServer(t)
+	scans := obs.Default.Counter("engine_scans_total", "scan kernels executed",
+		obs.L("kind", "top-publishers"))
+
+	first, _ := get(t, srv, "/api/v1/top-publishers")
+	if xc := first.Header.Get("X-Cache"); xc != "miss" {
+		t.Fatalf("first request X-Cache %q, want miss", xc)
+	}
+	before := scans.Value()
+	second, body := get(t, srv, "/api/v1/top-publishers")
+	if xc := second.Header.Get("X-Cache"); xc != "hit" {
+		t.Fatalf("second request X-Cache %q, want hit", xc)
+	}
+	if delta := scans.Value() - before; delta != 0 {
+		t.Fatalf("cache hit ran %d scans, want 0", delta)
+	}
+	if len(body) == 0 {
+		t.Fatal("hit served empty body")
+	}
+	_, firstBody := get(t, srv, "/api/v1/top-publishers")
+	if string(firstBody) != string(body) {
+		t.Fatal("cached responses diverge")
+	}
+}
+
+func TestCacheDisabledByConfig(t *testing.T) {
+	testServer(t) // ensures cachedDB is built
+	srv := httptest.NewServer(NewWithConfig(cachedDB, Config{CacheBytes: -1}))
+	defer srv.Close()
+	for i := 0; i < 2; i++ {
+		resp, _ := get(t, srv, "/api/v1/stats")
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if xc := resp.Header.Get("X-Cache"); xc != "" {
+			t.Fatalf("X-Cache %q present with caching disabled", xc)
+		}
+	}
+}
+
+func TestCacheAccessor(t *testing.T) {
+	testServer(t)
+	s := New(cachedDB)
+	if s.Cache() == nil {
+		t.Fatal("default server should expose its cache")
+	}
+	if NewWithConfig(cachedDB, Config{CacheBytes: -1}).Cache() != nil {
+		t.Fatal("disabled cache should be nil")
+	}
+}
