@@ -27,3 +27,11 @@ go run ./cmd/gdeltbench -table 6 -stats -json /tmp/gdeltbench-timings.json \
 # >=10x per-request speedup. Artifact lands in results/cache_bench.json.
 go run ./cmd/gdeltbench -cache-bench \
   -cache-json results/cache_bench.json -cache-min-speedup 10
+
+# Kernel benchmark gate: the vectorized cross-count kernel must stay >=2x
+# over the closure fallback at workers=4, and the postings-pruned co-report
+# over a 16-source panel >=3x over the full event scan. Samples of the slow
+# and fast paths are interleaved so machine-wide noise cancels in the ratio.
+# Artifact lands in results/kernel_bench.json.
+go run ./cmd/gdeltbench -kernel-bench -kernel-workers 4 \
+  -kernel-json results/kernel_bench.json -kernel-min-typed 2 -kernel-min-pruned 3

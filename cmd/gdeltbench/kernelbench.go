@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gdeltmine"
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/queries"
+)
+
+// kernelBenchResult is one kernel's closure-vs-typed (and, where a pruned
+// path exists, vs-pruned) measurement as written to -kernel-json. Times are
+// milliseconds per run; speedups are closure time over the fast path.
+type kernelBenchResult struct {
+	Kernel        string  `json:"kernel"`
+	Workers       int     `json:"workers"`
+	Rows          int     `json:"rows"`
+	ClosureMS     float64 `json:"closure_ms"`
+	TypedMS       float64 `json:"typed_ms,omitempty"`
+	PrunedMS      float64 `json:"pruned_ms,omitempty"`
+	TypedSpeedup  float64 `json:"typed_speedup,omitempty"`
+	PrunedSpeedup float64 `json:"pruned_speedup,omitempty"`
+}
+
+// calibrateReps picks a repetition count so one sample of f lasts ~25ms,
+// amortizing timer noise on fast kernels.
+func calibrateReps(f func()) int {
+	f() // warm up: page in columns, fill the accumulator pools
+	start := time.Now()
+	f()
+	once := time.Since(start)
+	reps := 1
+	if target := 25 * time.Millisecond; once < target {
+		reps = int(target / max(once, time.Microsecond))
+		if reps > 1000 {
+			reps = 1000
+		}
+		if reps < 1 {
+			reps = 1
+		}
+	}
+	return reps
+}
+
+func sampleKernel(f func(), reps int) time.Duration {
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+// measurePair times two implementations of the same kernel with interleaved
+// samples — slow/fast, slow/fast, … — so a machine-wide slowdown (another
+// process stealing cores mid-benchmark) degrades both sides rather than
+// skewing the ratio. Best of five samples per side, the standard
+// floor-of-noise estimator for throughput benchmarks; returns milliseconds.
+func measurePair(slow, fast func()) (float64, float64) {
+	slowReps := calibrateReps(slow)
+	fastReps := calibrateReps(fast)
+	bestSlow := time.Duration(1<<62 - 1)
+	bestFast := time.Duration(1<<62 - 1)
+	for sample := 0; sample < 5; sample++ {
+		if d := sampleKernel(slow, slowReps); d < bestSlow {
+			bestSlow = d
+		}
+		if d := sampleKernel(fast, fastReps); d < bestFast {
+			bestFast = d
+		}
+	}
+	return float64(bestSlow) / float64(time.Millisecond), float64(bestFast) / float64(time.Millisecond)
+}
+
+// runKernelBench measures the vectorized scan kernels against the generic
+// closure kernels they replace, and the postings-pruned report paths
+// against their full scans, on the loaded dataset. minTyped gates the
+// cross-count kernel (the acceptance kernel for typed execution) and
+// minPruned gates coreport-16 (the acceptance kernel for pruning); the
+// remaining rows are informational.
+func runKernelBench(ds *gdeltmine.Dataset, workers int, jsonPath string, minTyped, minPruned float64) error {
+	e := ds.Engine().WithWorkers(workers).WithKind("kernel-bench")
+	db := e.DB()
+	nm := db.Mentions.Len()
+	nq := db.NumQuarters()
+	ns := db.Sources.Len()
+	nc := len(gdelt.Countries)
+	var results []kernelBenchResult
+
+	addTyped := func(kernel string, rows int, closure, typed func()) {
+		r := kernelBenchResult{Kernel: kernel, Workers: workers, Rows: rows}
+		r.ClosureMS, r.TypedMS = measurePair(closure, typed)
+		if r.TypedMS > 0 {
+			r.TypedSpeedup = r.ClosureMS / r.TypedMS
+		}
+		results = append(results, r)
+		fmt.Printf("kernel-bench %-20s closure %9.4fms  typed  %9.4fms  speedup %6.2fx\n",
+			kernel, r.ClosureMS, r.TypedMS, r.TypedSpeedup)
+	}
+
+	addTyped("group-count", nm,
+		func() { e.GroupCount(ns, func(row int) int { return int(db.Mentions.Source[row]) }) },
+		func() { e.GroupCountCol(ns, db.Mentions.Source, nil) },
+	)
+	addTyped("cross-count", nm,
+		func() {
+			e.CrossCount(nc, nc, func(row int) (int, int) {
+				ev := db.Mentions.EventRow[row]
+				return int(db.Events.Country[ev]), int(db.SourceCountry[db.Mentions.Source[row]])
+			})
+		},
+		func() {
+			engine.CrossCountRemap(e, nc, nc, db.Mentions.EventRow, db.Events.Country,
+				db.Mentions.Source, db.SourceCountry)
+		},
+	)
+	addTyped("sum-by-group", nm,
+		func() {
+			e.SumByGroup(ns, func(row int) (int, float64) {
+				return int(db.Mentions.Source[row]), float64(db.Mentions.Tone[row])
+			})
+		},
+		func() { e.SumByGroupCol(ns, db.Mentions.Source, nil, db.Mentions.Tone) },
+	)
+	addTyped("group-count-filtered", nm,
+		func() {
+			e.GroupCount(nq, func(row int) int {
+				if db.Mentions.Delay[row] <= gdelt.IntervalsPerDay {
+					return -1
+				}
+				return db.QuarterOfInterval(db.Mentions.Interval[row])
+			})
+		},
+		func() {
+			e.GroupCountColSel(nq, db.Mentions.Interval, db.QuarterLUT(),
+				engine.PredGT(db.Mentions.Delay, gdelt.IntervalsPerDay))
+		},
+	)
+
+	addPruned := func(kernel string, panel []int32, scan, pruned func(sources []int32)) {
+		r := kernelBenchResult{Kernel: kernel, Workers: workers, Rows: db.Events.Len()}
+		r.ClosureMS, r.PrunedMS = measurePair(func() { scan(panel) }, func() { pruned(panel) })
+		if r.PrunedMS > 0 {
+			r.PrunedSpeedup = r.ClosureMS / r.PrunedMS
+		}
+		results = append(results, r)
+		fmt.Printf("kernel-bench %-20s fullscan %8.4fms  pruned %9.4fms  speedup %6.2fx\n",
+			kernel, r.ClosureMS, r.PrunedMS, r.PrunedSpeedup)
+	}
+	coScan := func(s []int32) {
+		if _, err := queries.CoReportScan(e, s); err != nil {
+			panic(err)
+		}
+	}
+	coPruned := func(s []int32) {
+		if _, err := queries.CoReport(e, s); err != nil {
+			panic(err)
+		}
+	}
+	followScan := func(s []int32) { queries.FollowReportScan(e, s) }
+	followPruned := func(s []int32) { queries.FollowReport(e, s) }
+
+	// Pruned acceptance kernels: co- and follow-reporting over a 16-source
+	// panel spread across the publisher rank spectrum below the head (rank ≥
+	// ns/8) — the shape of a typical ad-hoc selection, where
+	// union-of-postings touches a few percent of the corpus. The top-16 rows
+	// are informational: on a generated corpus the handful of head publishers
+	// own most mentions, so pruning cannot pay there by construction and the
+	// full scan is the right plan (which the speedup column makes visible).
+	ranked, _ := ds.TopPublishers(ns)
+	base := len(ranked) / 8
+	panel := make([]int32, 0, 16)
+	for i := 0; i < 16 && base+i*(len(ranked)-base)/16 < len(ranked); i++ {
+		panel = append(panel, ranked[base+i*(len(ranked)-base)/16])
+	}
+	addPruned("coreport-16", panel, coScan, coPruned)
+	addPruned("follow-16", panel, followScan, followPruned)
+	addPruned("coreport-top16", ranked[:min(16, len(ranked))], coScan, coPruned)
+	addPruned("follow-top16", ranked[:min(16, len(ranked))], followScan, followPruned)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+
+	// Gates: the two acceptance kernels of the vectorization work.
+	if minTyped > 0 {
+		for _, r := range results {
+			if r.Kernel == "cross-count" && r.TypedSpeedup < minTyped {
+				return fmt.Errorf("kernel-bench: cross-count typed speedup %.2fx below required %.1fx", r.TypedSpeedup, minTyped)
+			}
+		}
+		fmt.Printf("typed cross-count at or above %.1fx\n", minTyped)
+	}
+	if minPruned > 0 {
+		for _, r := range results {
+			if r.Kernel == "coreport-16" && r.PrunedSpeedup < minPruned {
+				return fmt.Errorf("kernel-bench: coreport-16 pruned speedup %.2fx below required %.1fx", r.PrunedSpeedup, minPruned)
+			}
+		}
+		fmt.Printf("pruned coreport-16 at or above %.1fx\n", minPruned)
+	}
+	return nil
+}

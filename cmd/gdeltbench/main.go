@@ -29,6 +29,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"gdeltmine"
@@ -56,8 +57,44 @@ func main() {
 		cacheBench = flag.Bool("cache-bench", false, "run the repeated-query cache benchmark instead of the paper artifacts")
 		cacheJSON  = flag.String("cache-json", "", "write cache benchmark results as JSON to this file")
 		minSpeedup = flag.Float64("cache-min-speedup", 0, "fail when any kind's warm-cache speedup falls below this factor (0 disables)")
+
+		kernelBench   = flag.Bool("kernel-bench", false, "run the scan-kernel micro-benchmark (closure vs typed vs pruned) instead of the paper artifacts")
+		kernelJSON    = flag.String("kernel-json", "", "write kernel benchmark results as JSON to this file")
+		kernelWorkers = flag.Int("kernel-workers", 4, "worker count for the kernel benchmark")
+		kernelTyped   = flag.Float64("kernel-min-typed", 0, "fail when the typed cross-count speedup falls below this factor (0 disables)")
+		kernelPruned  = flag.Float64("kernel-min-pruned", 0, "fail when the pruned coreport-16 speedup falls below this factor (0 disables)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	h := &harness{only: selection{table: *table, figure: *figure}, timings: map[string]float64{}}
 	var err error
@@ -115,6 +152,12 @@ func main() {
 	fmt.Println()
 	if *cacheBench {
 		if err := runCacheBench(h.ds, *cacheJSON, *minSpeedup); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *kernelBench {
+		if err := runKernelBench(h.ds, *kernelWorkers, *kernelJSON, *kernelTyped, *kernelPruned); err != nil {
 			log.Fatal(err)
 		}
 		return

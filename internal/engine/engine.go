@@ -155,8 +155,8 @@ func (e *Engine) CountMentions(pred func(row int) bool) int64 {
 func (e *Engine) GroupCount(numGroups int, groupOf func(row int) int) []int64 {
 	wlo, whi := e.mentionWindow()
 	defer e.observeScan(whi-wlo, time.Now())
-	return parallel.MapReduce(whi-wlo, e.opt(),
-		func() []int64 { return make([]int64, numGroups) },
+	res := parallel.MapReduce(whi-wlo, e.opt(),
+		func() []int64 { return parallel.GetInt64(numGroups) },
 		func(acc []int64, lo, hi int) []int64 {
 			for row := wlo + lo; row < wlo+hi; row++ {
 				if g := groupOf(row); g >= 0 {
@@ -165,15 +165,16 @@ func (e *Engine) GroupCount(numGroups int, groupOf func(row int) int) []int64 {
 			}
 			return acc
 		},
-		mergeInt64Slices,
+		mergeReleaseInt64,
 	)
+	return copyOutInt64(res)
 }
 
 // GroupCountEvents aggregates event rows into numGroups counters.
 func (e *Engine) GroupCountEvents(numGroups int, groupOf func(row int) int) []int64 {
 	defer e.observeScan(e.db.Events.Len(), time.Now())
-	return parallel.MapReduce(e.db.Events.Len(), e.opt(),
-		func() []int64 { return make([]int64, numGroups) },
+	res := parallel.MapReduce(e.db.Events.Len(), e.opt(),
+		func() []int64 { return parallel.GetInt64(numGroups) },
 		func(acc []int64, lo, hi int) []int64 {
 			for row := lo; row < hi; row++ {
 				if g := groupOf(row); g >= 0 {
@@ -182,8 +183,9 @@ func (e *Engine) GroupCountEvents(numGroups int, groupOf func(row int) int) []in
 			}
 			return acc
 		},
-		mergeInt64Slices,
+		mergeReleaseInt64,
 	)
+	return copyOutInt64(res)
 }
 
 // CrossCount aggregates mention rows in the window into a rows×cols
@@ -194,7 +196,7 @@ func (e *Engine) CrossCount(rows, cols int, keys func(row int) (r, c int)) *matr
 	wlo, whi := e.mentionWindow()
 	defer e.observeScan(whi-wlo, time.Now())
 	return parallel.MapReduce(whi-wlo, e.opt(),
-		func() *matrix.Int64 { return matrix.NewInt64(rows, cols) },
+		func() *matrix.Int64 { return newPooledInt64Matrix(rows, cols) },
 		func(acc *matrix.Int64, lo, hi int) *matrix.Int64 {
 			for row := wlo + lo; row < wlo+hi; row++ {
 				r, c := keys(row)
@@ -204,12 +206,7 @@ func (e *Engine) CrossCount(rows, cols int, keys func(row int) (r, c int)) *matr
 			}
 			return acc
 		},
-		func(dst, src *matrix.Int64) *matrix.Int64 {
-			if err := dst.AddMatrix(src); err != nil {
-				panic(err) // identical shapes by construction
-			}
-			return dst
-		},
+		e.mergeReleaseMatrix,
 	)
 }
 
@@ -217,8 +214,8 @@ func (e *Engine) CrossCount(rows, cols int, keys func(row int) (r, c int)) *matr
 func (e *Engine) SumByGroup(numGroups int, keyVal func(row int) (g int, v float64)) []float64 {
 	wlo, whi := e.mentionWindow()
 	defer e.observeScan(whi-wlo, time.Now())
-	return parallel.MapReduce(whi-wlo, e.opt(),
-		func() []float64 { return make([]float64, numGroups) },
+	res := parallel.MapReduce(whi-wlo, e.opt(),
+		func() []float64 { return parallel.GetFloat64(numGroups) },
 		func(acc []float64, lo, hi int) []float64 {
 			for row := wlo + lo; row < wlo+hi; row++ {
 				if g, v := keyVal(row); g >= 0 {
@@ -227,20 +224,9 @@ func (e *Engine) SumByGroup(numGroups int, keyVal func(row int) (g int, v float6
 			}
 			return acc
 		},
-		func(dst, src []float64) []float64 {
-			for i, v := range src {
-				dst[i] += v
-			}
-			return dst
-		},
+		mergeReleaseFloat64,
 	)
-}
-
-func mergeInt64Slices(dst, src []int64) []int64 {
-	for i, v := range src {
-		dst[i] += v
-	}
-	return dst
+	return copyOutFloat64(res)
 }
 
 // TopK returns the indexes of the k largest values (ties broken toward the

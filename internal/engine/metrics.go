@@ -2,9 +2,11 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gdeltmine/internal/obs"
+	"gdeltmine/internal/parallel"
 )
 
 // Per-query-kind scan metrics. The engine does not know query names by
@@ -15,6 +17,7 @@ import (
 type kindMetrics struct {
 	scans   *obs.Counter
 	rows    *obs.Counter
+	pruned  *obs.Counter
 	seconds *obs.Histogram
 }
 
@@ -29,7 +32,10 @@ func metricsFor(kind string) *kindMetrics {
 		scans: obs.Default.Counter("engine_scans_total",
 			"scan kernels executed", obs.L("kind", kind)),
 		rows: obs.Default.Counter("engine_rows_scanned_total",
-			"table rows covered by scan kernels", obs.L("kind", kind)),
+			"table rows actually touched by scan kernels", obs.L("kind", kind)),
+		pruned: obs.Default.Counter("scan_rows_pruned_total",
+			"rows skipped by postings-pruned scans (domain size minus rows touched)",
+			obs.L("kind", kind)),
 		seconds: obs.Default.Histogram("engine_scan_seconds",
 			"scan kernel latency in seconds", obs.LatencyBuckets, obs.L("kind", kind)),
 	}
@@ -37,10 +43,36 @@ func metricsFor(kind string) *kindMetrics {
 	return actual.(*kindMetrics)
 }
 
-// observeScan records one finished kernel run over rows table rows.
+// scansAll counts kernels across every kind, the denominator of the
+// allocations-per-scan gauge below.
+var scansAll atomic.Int64
+
+// allocPerScan makes kernel GC churn observable: pooled-accumulator pool
+// misses (fresh allocations) divided by scan kernels executed. Near zero
+// once the pools are warm; a climb flags an accumulator shape the pools
+// don't cover.
+var allocPerScan = obs.Default.Gauge("engine_accumulator_allocs_per_scan",
+	"pooled accumulator allocations per scan kernel (pool misses / scans)")
+
+// observeScan records one finished kernel run that touched rows table rows.
 func (e *Engine) observeScan(rows int, start time.Time) {
+	e.observeScanPruned(rows, rows, start)
+}
+
+// observeScanPruned records a kernel that touched `touched` of a `domain`-row
+// scan domain: a full scan reports touched == domain, a postings-pruned or
+// selection-vector scan reports the rows it actually visited, and the
+// difference lands in scan_rows_pruned_total so the pruning win is visible
+// in /metrics rather than inferred.
+func (e *Engine) observeScanPruned(touched, domain int, start time.Time) {
 	m := metricsFor(e.Kind())
 	m.scans.Inc()
-	m.rows.Add(int64(rows))
+	m.rows.Add(int64(touched))
+	if domain > touched {
+		m.pruned.Add(int64(domain - touched))
+	}
 	m.seconds.ObserveSince(start)
+	if scans := scansAll.Add(1); scans > 0 {
+		allocPerScan.Set(float64(parallel.PoolAllocs()) / float64(scans))
+	}
 }

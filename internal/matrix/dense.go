@@ -6,7 +6,10 @@
 // Jaccard index arithmetic.
 package matrix
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Dense is a row-major dense float64 matrix.
 type Dense struct {
@@ -185,6 +188,39 @@ func (m *Int64) AddMatrix(o *Int64) error {
 	for i, v := range o.Data {
 		m.Data[i] += v
 	}
+	return nil
+}
+
+// AddMatrixParallel accumulates o into m elementwise using up to workers
+// goroutines over disjoint chunks of the backing slice. It is the merge
+// step for large per-worker partial matrices, where a serial fold would
+// leave one goroutine adding millions of elements while the rest idle.
+// Small matrices (or workers < 2) fall back to the serial AddMatrix.
+func (m *Int64) AddMatrixParallel(o *Int64, workers int) error {
+	if o.Rows != m.Rows || o.Cols != m.Cols {
+		return fmt.Errorf("matrix: adding %dx%d into %dx%d", o.Rows, o.Cols, m.Rows, m.Cols)
+	}
+	n := len(m.Data)
+	if workers < 2 || n < 1<<14 {
+		return m.AddMatrix(o)
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			dst, src := m.Data[lo:hi], o.Data[lo:hi]
+			for i, v := range src {
+				dst[i] += v
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return nil
 }
 

@@ -1,0 +1,40 @@
+package matrix
+
+import "testing"
+
+func TestAddMatrixParallelMatchesSerial(t *testing.T) {
+	// Large enough to take the parallel path (>= 1<<14 elements).
+	const rows, cols = 160, 128
+	a := NewInt64(rows, cols)
+	b := NewInt64(rows, cols)
+	want := NewInt64(rows, cols)
+	for i := range a.Data {
+		a.Data[i] = int64(i % 7)
+		b.Data[i] = int64(i % 11)
+		want.Data[i] = a.Data[i] + b.Data[i]
+	}
+	if err := a.AddMatrixParallel(b, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if a.Data[i] != want.Data[i] {
+			t.Fatalf("parallel add diverged at %d: %d != %d", i, a.Data[i], want.Data[i])
+		}
+	}
+
+	// Small matrices and single workers fall back to the serial path.
+	c := NewInt64(2, 2)
+	d := NewInt64(2, 2)
+	c.Set(0, 0, 1)
+	d.Set(0, 0, 2)
+	if err := c.AddMatrixParallel(d, 8); err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != 3 {
+		t.Fatalf("small fallback: got %d", c.At(0, 0))
+	}
+
+	if err := a.AddMatrixParallel(NewInt64(1, 1), 4); err == nil {
+		t.Fatal("shape mismatch not rejected")
+	}
+}

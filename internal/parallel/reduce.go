@@ -53,11 +53,37 @@ func MapReduce[A any](n int, opt Options, newPartial func() A, body func(acc A, 
 	}
 	wg.Wait()
 	recordScan(n, perWorker)
-	out := partials[0]
-	for w := 1; w < workers; w++ {
-		out = merge(out, partials[w])
+	return mergeTree(partials, merge)
+}
+
+// mergeTree folds worker partials into partials[0]. With four or more
+// partials it runs a pairwise merge tree — level k merges partials[i] and
+// partials[i+2^k] concurrently for all even multiples i of 2^(k+1) — so a
+// large accumulator (a per-worker contingency matrix, say) folds in
+// O(log workers) merge latency instead of a serial O(workers) chain on one
+// goroutine. merge therefore runs concurrently on disjoint pairs; every
+// merge in this package's callers is a pure dst += src fold, which is safe.
+func mergeTree[A any](partials []A, merge func(dst, src A) A) A {
+	workers := len(partials)
+	if workers < 4 {
+		out := partials[0]
+		for w := 1; w < workers; w++ {
+			out = merge(out, partials[w])
+		}
+		return out
 	}
-	return out
+	for stride := 1; stride < workers; stride *= 2 {
+		var wg sync.WaitGroup
+		for i := 0; i+stride < workers; i += 2 * stride {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				partials[i] = merge(partials[i], partials[i+stride])
+			}(i)
+		}
+		wg.Wait()
+	}
+	return partials[0]
 }
 
 // SumInt64 computes the sum of f(i) over [0, n) in parallel.

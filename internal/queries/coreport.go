@@ -6,6 +6,7 @@ import (
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/matrix"
 	"gdeltmine/internal/parallel"
+	"gdeltmine/internal/store"
 )
 
 // CoReporting is the Section VI-B co-reporting result over a selected set
@@ -21,60 +22,171 @@ type CoReporting struct {
 	Jaccard *matrix.Dense
 }
 
-// CoReport computes co-reporting among the selected sources. The scan is
-// parallel over events with per-worker pair matrices; for the dense
-// top-50-style selections this mirrors the paper's dense-matrix strategy,
-// and the per-event work is O(k·m) for k articles and m selected reporters.
-func CoReport(e *engine.Engine, sources []int32) (*CoReporting, error) {
-	db := e.DB()
-	n := len(sources)
-	sel := make(map[int32]int, n)
+// slotLUT builds the source→selection-slot remap column: slot[s] is the
+// index of s in sources, or -1 when unselected. Duplicate ids resolve to the
+// last occurrence, matching the maps the closure versions used to build.
+func slotLUT(nSources int, sources []int32) []int32 {
+	slot := make([]int32, nSources)
+	for i := range slot {
+		slot[i] = -1
+	}
 	for i, s := range sources {
-		sel[s] = i
+		slot[s] = int32(i)
 	}
-	type partial struct {
-		pair   *matrix.Int64
-		counts []int64
+	return slot
+}
+
+// eventGroups is the postings-pruned execution plan for a source selection:
+// every mention row published by a selected source, grouped by the event it
+// reports on, rows ascending (= ascending capture interval) within each
+// group. Groups[g] = rows[ptr[g]:ptr[g+1]]. Events with no selected-source
+// mention have no group — they cannot contribute to co- or follow-reporting
+// among the selection — and mention rows of unselected sources are never
+// touched at all, so building and scanning the plan costs O(Σ postings of
+// the selected sources · log + events) instead of a pass over every mention
+// of every event.
+type eventGroups struct {
+	rows []int32
+	ptr  []int32
+	// idx enumerates the groups (0..len(ptr)-2) for engine.ScanRows.
+	idx []int32
+}
+
+func groupSelectedMentions(e *engine.Engine, sources []int32) *eventGroups {
+	db := e.DB()
+	// Duplicate source ids would duplicate rows, which the full scan never
+	// sees — dedup the (tiny) selection first instead of sorting the rows.
+	uniq := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		dup := false
+		for _, u := range uniq {
+			if u == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, s)
+		}
 	}
-	res := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
-		func() *partial {
-			return &partial{pair: matrix.NewInt64(n, n), counts: make([]int64, n)}
-		},
-		func(acc *partial, lo, hi int) *partial {
-			present := make([]int, 0, 16)
-			mark := make([]bool, n)
-			for ev := lo; ev < hi; ev++ {
-				present = present[:0]
-				for _, row := range db.EventMentions(int32(ev)) {
-					if i, ok := sel[db.Mentions.Source[row]]; ok && !mark[i] {
-						mark[i] = true
-						present = append(present, i)
-					}
-				}
-				for _, i := range present {
-					mark[i] = false
-					acc.counts[i]++
-				}
-				for a := 0; a < len(present); a++ {
-					for b := a + 1; b < len(present); b++ {
-						i, j := present[a], present[b]
-						acc.pair.Inc(i, j)
-						acc.pair.Inc(j, i)
-					}
-				}
+
+	total := 0
+	for _, s := range uniq {
+		total += len(db.SourceMentions(s))
+	}
+
+	// Dense event index (first-appearance order) and a counting sort of the
+	// selected postings rows into per-event groups. Postings from different
+	// sources are disjoint, so no row-level dedup is needed.
+	evIndex := make([]int32, db.Events.Len()) // dense group index + 1; 0 = absent
+	counts := make([]int32, 0, 256)
+	for _, s := range uniq {
+		for _, r := range db.SourceMentions(s) {
+			ev := db.Mentions.EventRow[r]
+			g := evIndex[ev]
+			if g == 0 {
+				counts = append(counts, 0)
+				g = int32(len(counts))
+				evIndex[ev] = g
 			}
-			return acc
-		},
-		func(dst, src *partial) *partial {
-			if err := dst.pair.AddMatrix(src.pair); err != nil {
-				panic(err)
-			}
-			for i, v := range src.counts {
-				dst.counts[i] += v
-			}
-			return dst
-		},
-	)
+			counts[g-1]++
+		}
+	}
+	groups := len(counts)
+	ptr := make([]int32, groups+1)
+	for g, c := range counts {
+		ptr[g+1] = ptr[g] + c
+	}
+	grouped := make([]int32, total)
+	cur := make([]int32, groups)
+	for _, s := range uniq {
+		for _, r := range db.SourceMentions(s) {
+			g := evIndex[db.Mentions.EventRow[r]] - 1
+			grouped[int(ptr[g])+int(cur[g])] = r
+			cur[g]++
+		}
+	}
+	// Each group interleaves up to k ascending postings runs; restore the
+	// ascending row order (= ascending capture interval, which the
+	// follow-reporting leader pass depends on) with per-group sorts. Groups
+	// are small, so this costs far less than a global sort of all rows.
+	eg := &eventGroups{rows: grouped, ptr: ptr, idx: make([]int32, groups)}
+	for g := range eg.idx {
+		eg.idx[g] = int32(g)
+		insertionSortInt32(eg.group(int32(g)))
+	}
+	return eg
+}
+
+// insertionSortInt32 sorts a tiny, mostly-ordered slice in place. Groups
+// rarely exceed a handful of rows, where insertion sort beats sort.Slice's
+// per-call reflection setup by orders of magnitude.
+func insertionSortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// group returns the mention rows of dense group g, ascending by interval.
+func (eg *eventGroups) group(g int32) []int32 { return eg.rows[eg.ptr[g]:eg.ptr[g+1]] }
+
+// coPartial is a worker-local accumulator for co-reporting scans.
+type coPartial struct {
+	pair   *matrix.Int64
+	counts []int64
+}
+
+func newCoPartial(n int) *coPartial {
+	return &coPartial{
+		pair:   &matrix.Int64{Rows: n, Cols: n, Data: parallel.GetInt64(n * n)},
+		counts: parallel.GetInt64(n),
+	}
+}
+
+func mergeCoPartials(dst, src *coPartial) *coPartial {
+	if err := dst.pair.AddMatrix(src.pair); err != nil {
+		panic(err)
+	}
+	for i, v := range src.counts {
+		dst.counts[i] += v
+	}
+	parallel.PutInt64(src.pair.Data)
+	parallel.PutInt64(src.counts)
+	src.pair.Data, src.counts = nil, nil
+	return dst
+}
+
+// coReportRows folds the selected mention rows of one event into acc: mark
+// the selected sources present, bump their event counts, and count every
+// unordered present pair in both triangles.
+func coReportRows(db *store.DB, acc *coPartial, rows []int32, slot []int32, present []int32, mark []bool) {
+	present = present[:0]
+	for _, row := range rows {
+		if i := slot[db.Mentions.Source[row]]; i >= 0 && !mark[i] {
+			mark[i] = true
+			present = append(present, i)
+		}
+	}
+	for _, i := range present {
+		mark[i] = false
+		acc.counts[i]++
+	}
+	for a := 0; a < len(present); a++ {
+		for b := a + 1; b < len(present); b++ {
+			i, j := present[a], present[b]
+			acc.pair.Inc(int(i), int(j))
+			acc.pair.Inc(int(j), int(i))
+		}
+	}
+}
+
+func finishCoReport(e *engine.Engine, sources []int32, res *coPartial) (*CoReporting, error) {
 	jac, err := matrix.JaccardFromPairCounts(res.pair, res.counts)
 	if err != nil {
 		return nil, err
@@ -86,9 +198,60 @@ func CoReport(e *engine.Engine, sources []int32) (*CoReporting, error) {
 		Jaccard:     jac,
 	}
 	for _, s := range sources {
-		out.Names = append(out.Names, db.Sources.Name(s))
+		out.Names = append(out.Names, e.DB().Sources.Name(s))
 	}
 	return out, nil
+}
+
+// CoReport computes co-reporting among the selected sources via the
+// postings-pruned path: the selected sources' postings are grouped by event
+// (groupSelectedMentions) and only those rows are scanned — O(Σ postings of
+// the selection) instead of a pass over every mention of every event. The
+// per-event work is O(k·m) for k selected articles and m selected
+// reporters, as in the paper's dense-matrix strategy. CoReportScan is the
+// full-scan reference it is pinned against.
+func CoReport(e *engine.Engine, sources []int32) (*CoReporting, error) {
+	db := e.DB()
+	n := len(sources)
+	slot := slotLUT(db.Sources.Len(), sources)
+	eg := groupSelectedMentions(e, sources)
+	res := engine.ScanRows(e, eg.idx, db.Events.Len(),
+		func() *coPartial { return newCoPartial(n) },
+		func(acc *coPartial, groups []int32) *coPartial {
+			present := make([]int32, 0, 16)
+			mark := make([]bool, n)
+			for _, g := range groups {
+				coReportRows(db, acc, eg.group(g), slot, present, mark)
+			}
+			return acc
+		},
+		mergeCoPartials,
+	)
+	return finishCoReport(e, sources, res)
+}
+
+// CoReportScan is the full-scan closure fallback of CoReport: a parallel
+// pass over every event and every one of its mentions, with per-worker pair
+// matrices. It is kept as the reference implementation the differential
+// harness pins the pruned path against, and as the baseline the kernel
+// benchmark measures pruning from.
+func CoReportScan(e *engine.Engine, sources []int32) (*CoReporting, error) {
+	db := e.DB()
+	n := len(sources)
+	slot := slotLUT(db.Sources.Len(), sources)
+	res := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
+		func() *coPartial { return newCoPartial(n) },
+		func(acc *coPartial, lo, hi int) *coPartial {
+			present := make([]int32, 0, 16)
+			mark := make([]bool, n)
+			for ev := lo; ev < hi; ev++ {
+				coReportRows(db, acc, db.EventMentions(int32(ev)), slot, present, mark)
+			}
+			return acc
+		},
+		mergeCoPartials,
+	)
+	return finishCoReport(e, sources, res)
 }
 
 // SliceStats describes a time-sliced co-reporting computation.
@@ -204,60 +367,37 @@ type FollowReporting struct {
 	ColSums []float64
 }
 
-// FollowReport computes follow-reporting among the selected sources.
-func FollowReport(e *engine.Engine, sources []int32) *FollowReporting {
-	db := e.DB()
+// followReportRows folds one event's mention rows (ascending by capture
+// interval, so a single forward pass sees leaders before followers) into
+// acc. Unselected rows contribute nothing, so the pruned path may pass only
+// the event's selected-source rows and get the identical result.
+func followReportRows(db *store.DB, acc *matrix.Int64, rows []int32, slot []int32, firstSeen []int32, touched []int32) []int32 {
+	for _, row := range rows {
+		j := slot[db.Mentions.Source[row]]
+		if j < 0 {
+			continue
+		}
+		t := db.Mentions.Interval[row]
+		// Every selected source first seen strictly earlier is a leader of
+		// this article.
+		for _, i := range touched {
+			if firstSeen[i] < t {
+				acc.Inc(int(i), int(j))
+			}
+		}
+		if firstSeen[j] < 0 {
+			firstSeen[j] = t
+			touched = append(touched, j)
+		}
+	}
+	for _, i := range touched {
+		firstSeen[i] = -1
+	}
+	return touched[:0]
+}
+
+func finishFollowReport(e *engine.Engine, sources []int32, articles []int64, nm *matrix.Int64) *FollowReporting {
 	n := len(sources)
-	sel := make(map[int32]int, n)
-	for i, s := range sources {
-		sel[s] = i
-	}
-	articles := make([]int64, n)
-	for i, s := range sources {
-		articles[i] = int64(len(db.SourceMentions(s)))
-	}
-	nm := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
-		func() *matrix.Int64 { return matrix.NewInt64(n, n) },
-		func(acc *matrix.Int64, lo, hi int) *matrix.Int64 {
-			firstSeen := make([]int32, n)
-			touched := make([]int, 0, 16)
-			for i := range firstSeen {
-				firstSeen[i] = -1
-			}
-			for ev := lo; ev < hi; ev++ {
-				rows := db.EventMentions(int32(ev))
-				for _, row := range rows {
-					j, ok := sel[db.Mentions.Source[row]]
-					if !ok {
-						continue
-					}
-					t := db.Mentions.Interval[row]
-					// Every selected source first seen strictly earlier is
-					// a leader of this article.
-					for _, i := range touched {
-						if firstSeen[i] < t {
-							acc.Inc(i, j)
-						}
-					}
-					if firstSeen[j] < 0 {
-						firstSeen[j] = t
-						touched = append(touched, j)
-					}
-				}
-				for _, i := range touched {
-					firstSeen[i] = -1
-				}
-				touched = touched[:0]
-			}
-			return acc
-		},
-		func(dst, src *matrix.Int64) *matrix.Int64 {
-			if err := dst.AddMatrix(src); err != nil {
-				panic(err)
-			}
-			return dst
-		},
-	)
 	f := matrix.NewDense(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -274,7 +414,79 @@ func FollowReport(e *engine.Engine, sources []int32) *FollowReporting {
 		ColSums:  f.ColSums(),
 	}
 	for _, s := range sources {
-		out.Names = append(out.Names, db.Sources.Name(s))
+		out.Names = append(out.Names, e.DB().Sources.Name(s))
 	}
 	return out
+}
+
+func selectedArticles(e *engine.Engine, sources []int32) []int64 {
+	articles := make([]int64, len(sources))
+	for i, s := range sources {
+		articles[i] = int64(len(e.DB().SourceMentions(s)))
+	}
+	return articles
+}
+
+// FollowReport computes follow-reporting among the selected sources via the
+// postings-pruned path: like CoReport, only the selected sources' mention
+// rows are scanned, grouped by event. FollowReportScan is the full-scan
+// reference.
+func FollowReport(e *engine.Engine, sources []int32) *FollowReporting {
+	db := e.DB()
+	n := len(sources)
+	slot := slotLUT(db.Sources.Len(), sources)
+	eg := groupSelectedMentions(e, sources)
+	nm := engine.ScanRows(e, eg.idx, db.Events.Len(),
+		func() *matrix.Int64 { return &matrix.Int64{Rows: n, Cols: n, Data: parallel.GetInt64(n * n)} },
+		func(acc *matrix.Int64, groups []int32) *matrix.Int64 {
+			firstSeen := make([]int32, n)
+			for i := range firstSeen {
+				firstSeen[i] = -1
+			}
+			touched := make([]int32, 0, 16)
+			for _, g := range groups {
+				touched = followReportRows(db, acc, eg.group(g), slot, firstSeen, touched)
+			}
+			return acc
+		},
+		mergeReleaseMatrixSerial,
+	)
+	return finishFollowReport(e, sources, selectedArticles(e, sources), nm)
+}
+
+// FollowReportScan is the full-scan fallback of FollowReport, kept as the
+// reference implementation for the differential harness and the kernel
+// benchmark's pruning baseline.
+func FollowReportScan(e *engine.Engine, sources []int32) *FollowReporting {
+	db := e.DB()
+	n := len(sources)
+	slot := slotLUT(db.Sources.Len(), sources)
+	nm := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
+		func() *matrix.Int64 { return &matrix.Int64{Rows: n, Cols: n, Data: parallel.GetInt64(n * n)} },
+		func(acc *matrix.Int64, lo, hi int) *matrix.Int64 {
+			firstSeen := make([]int32, n)
+			for i := range firstSeen {
+				firstSeen[i] = -1
+			}
+			touched := make([]int32, 0, 16)
+			for ev := lo; ev < hi; ev++ {
+				touched = followReportRows(db, acc, db.EventMentions(int32(ev)), slot, firstSeen, touched)
+			}
+			return acc
+		},
+		mergeReleaseMatrixSerial,
+	)
+	return finishFollowReport(e, sources, selectedArticles(e, sources), nm)
+}
+
+// mergeReleaseMatrixSerial folds src into dst and recycles src's pooled
+// backing buffer (selection matrices are k×k for small k, so the serial add
+// is already cheap).
+func mergeReleaseMatrixSerial(dst, src *matrix.Int64) *matrix.Int64 {
+	if err := dst.AddMatrix(src); err != nil {
+		panic(err)
+	}
+	parallel.PutInt64(src.Data)
+	src.Data = nil
+	return dst
 }

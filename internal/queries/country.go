@@ -40,11 +40,13 @@ func CountryQuery(e *engine.Engine) (*CountryReport, error) {
 	db := e.DB()
 	nc := countryCount
 
-	// Pass 1: cross-reporting over mentions (Table VI).
-	cross := e.CrossCount(nc, nc, func(row int) (int, int) {
-		ev := db.Mentions.EventRow[row]
-		return int(db.Events.Country[ev]), int(db.SourceCountry[db.Mentions.Source[row]])
-	})
+	// Pass 1: cross-reporting over mentions (Table VI), as a typed kernel:
+	// row country = eventCountryLUT[EventRow[row]], column country =
+	// sourceCountryLUT[Source[row]], untagged (-1) rows skipped by the
+	// kernel's range check.
+	cross := engine.CrossCountRemap(e, nc, nc,
+		db.Mentions.EventRow, db.Events.Country,
+		db.Mentions.Source, db.SourceCountry)
 
 	// Pass 2: per-event reporting-country bitmask over events (Table V).
 	type partial struct {
@@ -53,7 +55,10 @@ func CountryQuery(e *engine.Engine) (*CountryReport, error) {
 	}
 	res := parallel.MapReduce(db.Events.Len(), e.ScanOptions(),
 		func() *partial {
-			return &partial{pair: matrix.NewInt64(nc, nc), counts: make([]int64, nc)}
+			return &partial{
+				pair:   &matrix.Int64{Rows: nc, Cols: nc, Data: parallel.GetInt64(nc * nc)},
+				counts: parallel.GetInt64(nc),
+			}
 		},
 		func(acc *partial, lo, hi int) *partial {
 			for ev := lo; ev < hi; ev++ {
@@ -84,6 +89,9 @@ func CountryQuery(e *engine.Engine) (*CountryReport, error) {
 			for i, v := range src.counts {
 				dst.counts[i] += v
 			}
+			parallel.PutInt64(src.pair.Data)
+			parallel.PutInt64(src.counts)
+			src.pair.Data, src.counts = nil, nil
 			return dst
 		},
 	)
@@ -94,12 +102,8 @@ func CountryQuery(e *engine.Engine) (*CountryReport, error) {
 	}
 
 	// Derived orderings and normalizations.
-	eventCounts := e.GroupCountEvents(nc, func(row int) int {
-		if db.Events.NumArticles[row] == 0 {
-			return -1
-		}
-		return int(db.Events.Country[row])
-	})
+	eventCounts := e.GroupCountEventsCol(nc, db.EventCountryLUT(), nil,
+		engine.PredGT(db.Events.NumArticles, 0))
 	articleCounts := cross.ToDense().ColSums()
 	artInts := make([]int64, nc)
 	for c, v := range articleCounts {

@@ -139,11 +139,10 @@ func QuarterlyDelays(e *engine.Engine) QuarterlyDelay {
 // quarter with a publishing delay of more than 24 hours.
 func SlowArticlesPerQuarter(e *engine.Engine) QuarterlySeries {
 	db := e.DB()
-	vals := e.GroupCount(db.NumQuarters(), func(row int) int {
-		if db.Mentions.Delay[row] <= gdelt.IntervalsPerDay {
-			return -1
-		}
-		return db.QuarterOfInterval(db.Mentions.Interval[row])
-	})
+	// Vectorized filter→aggregate: the predicate stage selects delayed rows
+	// into pooled selection vectors, the aggregation stage groups them by
+	// quarter via the interval→quarter remap table.
+	vals := e.GroupCountColSel(db.NumQuarters(), db.Mentions.Interval, db.QuarterLUT(),
+		engine.PredGT(db.Mentions.Delay, gdelt.IntervalsPerDay))
 	return QuarterlySeries{Labels: quarterLabels(e), Values: vals}
 }

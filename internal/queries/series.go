@@ -24,9 +24,7 @@ func quarterLabels(e *engine.Engine) []string {
 // each quarter.
 func ArticlesPerQuarter(e *engine.Engine) QuarterlySeries {
 	db := e.DB()
-	vals := e.GroupCount(db.NumQuarters(), func(row int) int {
-		return db.QuarterOfInterval(db.Mentions.Interval[row])
-	})
+	vals := e.GroupCountCol(db.NumQuarters(), db.Mentions.Interval, db.QuarterLUT())
 	return QuarterlySeries{Labels: quarterLabels(e), Values: vals}
 }
 
@@ -34,12 +32,10 @@ func ArticlesPerQuarter(e *engine.Engine) QuarterlySeries {
 // event time) in each quarter.
 func EventsPerQuarter(e *engine.Engine) QuarterlySeries {
 	db := e.DB()
-	vals := e.GroupCountEvents(db.NumQuarters(), func(row int) int {
-		if db.Events.NumArticles[row] == 0 {
-			return -1 // never observed
-		}
-		return db.QuarterOfInterval(db.Events.Interval[row])
-	})
+	// Events never observed (zero articles) are filtered by the predicate
+	// stage; the survivors group by the quarter of their event interval.
+	vals := e.GroupCountEventsCol(db.NumQuarters(), db.Events.Interval, db.QuarterLUT(),
+		engine.PredGT(db.Events.NumArticles, 0))
 	return QuarterlySeries{Labels: quarterLabels(e), Values: vals}
 }
 
@@ -101,22 +97,26 @@ func TopPublisherSeries(e *engine.Engine, k int) PublisherSeries {
 		Sources: ids,
 		Totals:  totals,
 	}
-	rank := make(map[int32]int, len(ids))
+	// Postings-pruned: instead of scanning the whole window asking "is this
+	// row by a top-k publisher?", concatenate the k publishers' postings
+	// (clipped to the window) and cross-count only those rows — O(Σ postings
+	// of the k sources) instead of O(window).
+	rank := make([]int32, db.Sources.Len())
+	for i := range rank {
+		rank[i] = -1
+	}
+	var rows []int32
 	for p, s := range ids {
 		out.Names = append(out.Names, db.Sources.Name(s))
-		rank[s] = p
+		rank[s] = int32(p)
+		rows = append(rows, e.ClipRows(db.SourceMentions(s))...)
 	}
 	nq := db.NumQuarters()
-	flat := e.GroupCount(len(ids)*nq, func(row int) int {
-		p, ok := rank[db.Mentions.Source[row]]
-		if !ok {
-			return -1
-		}
-		return p*nq + db.QuarterOfInterval(db.Mentions.Interval[row])
-	})
+	grid := e.CrossCountRows(len(ids), nq, rows, e.WindowSize(),
+		db.Mentions.Source, rank, db.Mentions.Interval, db.QuarterLUT())
 	out.Values = make([][]int64, len(ids))
 	for p := range ids {
-		out.Values[p] = flat[p*nq : (p+1)*nq]
+		out.Values[p] = grid.Row(p)
 	}
 	return out
 }

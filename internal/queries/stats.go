@@ -106,9 +106,7 @@ func EventSizes(e *engine.Engine, xmin int) EventSizeDistribution {
 			maxN = n
 		}
 	}
-	counts := e.GroupCountEvents(int(maxN)+1, func(row int) int {
-		return int(db.Events.NumArticles[row])
-	})
+	counts := e.GroupCountEventsCol(int(maxN)+1, db.Events.NumArticles, nil, engine.ColPred{})
 	out := EventSizeDistribution{Counts: counts}
 	out.Fit, out.FitErr = stats.FitPowerLaw(counts, xmin)
 	return out
@@ -118,9 +116,7 @@ func EventSizes(e *engine.Engine, xmin int) EventSizeDistribution {
 // their article counts, in descending order (Section VI-A).
 func TopPublishers(e *engine.Engine, k int) (ids []int32, counts []int64) {
 	db := e.DB()
-	perSource := e.GroupCount(db.Sources.Len(), func(row int) int {
-		return int(db.Mentions.Source[row])
-	})
+	perSource := e.GroupCountCol(db.Sources.Len(), db.Mentions.Source, nil)
 	top := engine.TopK(len(perSource), k, func(i int) int64 { return perSource[i] })
 	for _, s := range top {
 		ids = append(ids, int32(s))

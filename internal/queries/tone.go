@@ -36,25 +36,24 @@ func ToneByCountry(e *engine.Engine, fips []string) []ToneSeries {
 			Count:   make([]int64, nq),
 		}
 	}
-	// One flat group space: country slot x quarter.
-	sums := e.SumByGroup(len(fips)*nq, func(row int) (int, float64) {
-		i, ok := idx[db.SourceCountry[db.Mentions.Source[row]]]
-		if !ok {
-			return -1, 0
+	// Typed cross kernels over the (country slot, quarter) grid. The map
+	// lookup of the closure version becomes a source→slot remap column: one
+	// build pass over the dictionary, then the hot loop is pure array
+	// indexing.
+	srcSlot := make([]int32, db.Sources.Len())
+	for s := range srcSlot {
+		srcSlot[s] = -1
+		if i, ok := idx[db.SourceCountry[s]]; ok {
+			srcSlot[s] = int32(i)
 		}
-		q := db.QuarterOfInterval(db.Mentions.Interval[row])
-		return i*nq + q, float64(db.Mentions.Tone[row])
-	})
-	counts := e.GroupCount(len(fips)*nq, func(row int) int {
-		i, ok := idx[db.SourceCountry[db.Mentions.Source[row]]]
-		if !ok {
-			return -1
-		}
-		return i*nq + db.QuarterOfInterval(db.Mentions.Interval[row])
-	})
+	}
+	sums := e.CrossSumCols(len(fips), nq,
+		db.Mentions.Source, srcSlot, db.Mentions.Interval, db.QuarterLUT(), db.Mentions.Tone)
+	counts := e.CrossCountCols(len(fips), nq,
+		db.Mentions.Source, srcSlot, db.Mentions.Interval, db.QuarterLUT())
 	for i := range out {
 		for q := 0; q < nq; q++ {
-			n := counts[i*nq+q]
+			n := counts.At(i, q)
 			out[i].Count[q] = n
 			if n > 0 {
 				out[i].Average[q] = sums[i*nq+q] / float64(n)

@@ -199,6 +199,7 @@ func (b *Builder) Finish() (*DB, BuildStats, error) {
 	db.buildSourceCountries()
 	db.buildPostings()
 	db.buildQuarterIndex()
+	db.buildTypedLUTs()
 	if err := b.finishGKG(db); err != nil {
 		return nil, BuildStats{}, err
 	}
@@ -263,6 +264,25 @@ func (db *DB) buildPostings() {
 		e := db.Mentions.EventRow[i]
 		db.byEventIdx[db.byEventPtr[e]+ecur[e]] = int32(i)
 		ecur[e]++
+	}
+}
+
+// buildTypedLUTs widens the int16 remap columns to the int32 lookup tables
+// the vectorized kernels index directly (quarter of interval, country of
+// source, country of event). Built once per assembly; ~4 bytes per
+// interval/source/event, negligible next to the mention table.
+func (db *DB) buildTypedLUTs() {
+	db.quarterLUT = make([]int32, len(db.quarterOfInterval))
+	for i, q := range db.quarterOfInterval {
+		db.quarterLUT[i] = int32(q)
+	}
+	db.sourceCountryLUT = make([]int32, len(db.SourceCountry))
+	for i, c := range db.SourceCountry {
+		db.sourceCountryLUT[i] = int32(c)
+	}
+	db.eventCountryLUT = make([]int32, db.Events.Len())
+	for i, c := range db.Events.Country {
+		db.eventCountryLUT[i] = int32(c)
 	}
 }
 

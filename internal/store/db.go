@@ -74,6 +74,14 @@ type DB struct {
 	quarterRow        []int64
 	quarters          int
 
+	// Typed lookup tables for the vectorized scan kernels (DESIGN.md §9):
+	// int32 remap columns the engine indexes directly inside its worker
+	// loops, avoiding per-row closure calls and int16→int conversions.
+	// Derived, immutable after assembly (like the postings).
+	quarterLUT       []int32 // capture interval -> quarter index
+	sourceCountryLUT []int32 // source id -> country index, -1 unattributable
+	eventCountryLUT  []int32 // event row -> country index, -1 untagged
+
 	// GKG holds the Global Knowledge Graph annotations, or nil when the
 	// dataset was converted without GKG files.
 	GKG *GKGStore
@@ -104,6 +112,18 @@ func (db *DB) BumpVersion() uint64 { return atomic.AddUint64(&db.version, 1) }
 
 // NumQuarters returns the number of calendar quarters covered.
 func (db *DB) NumQuarters() int { return db.quarters }
+
+// QuarterLUT returns the capture-interval→quarter lookup table as an int32
+// remap column for the typed scan kernels. Read-only; do not mutate.
+func (db *DB) QuarterLUT() []int32 { return db.quarterLUT }
+
+// SourceCountryLUT returns the source→country remap column (-1 for
+// unattributable sources) for the typed scan kernels. Read-only.
+func (db *DB) SourceCountryLUT() []int32 { return db.sourceCountryLUT }
+
+// EventCountryLUT returns the event-row→country remap column (-1 for
+// untagged events) for the typed scan kernels. Read-only.
+func (db *DB) EventCountryLUT() []int32 { return db.eventCountryLUT }
 
 // QuarterOfInterval maps a capture interval to a quarter index. Intervals
 // outside the archive clamp to the nearest quarter.
@@ -189,6 +209,7 @@ func AssembleDB(meta Meta, sources *Dictionary, ev EventTable, mn MentionTable, 
 	db.buildSourceCountries()
 	db.buildPostings()
 	db.buildQuarterIndex()
+	db.buildTypedLUTs()
 	if err := db.Validate(); err != nil {
 		return nil, err
 	}
