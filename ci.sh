@@ -15,6 +15,14 @@ go test -race ./...
 # floats. Catches cache-key instability and reduction-order bugs.
 go test ./internal/baseline -run TestRegistryDifferentialCachedVsUncached -count=1
 
+# Shard differential + metamorphic battery, under the race detector: every
+# kind sharded at K in {1,3,5} x workers {1,4} must equal the monolith
+# bit-exactly (1e-9 for floats), and the answers must be invariant under
+# shard-boundary moves, shard permutation, and window split/merge. The
+# fan-out path runs per-shard kernels concurrently, so -race here guards
+# the remap-and-reduce merge code.
+go test -race ./internal/baseline -run 'TestShardDifferential|TestShardMetamorphic' -count=1
+
 # Benchmark regression gate: regenerate Table VI on the small preset and
 # compare step timings against the checked-in baseline. The baseline values
 # are deliberately generous and the threshold is 2x, so only an order-of-
@@ -35,3 +43,10 @@ go run ./cmd/gdeltbench -cache-bench \
 # Artifact lands in results/kernel_bench.json.
 go run ./cmd/gdeltbench -kernel-bench -kernel-workers 4 \
   -kernel-json results/kernel_bench.json -kernel-min-typed 2 -kernel-min-pruned 3
+
+# Shard benchmark row (informational): the aggregated country query at K=4
+# shards vs the K=1 monolith on the standard world. The 1.15x ratio limit
+# only warns — correctness is gated by the differential battery above; this
+# row exists so fan-out overhead trends are visible in results/.
+go run ./cmd/gdeltbench -preset standard -shard-bench -shard-k 4 \
+  -shard-json results/shard_bench.json -shard-max-ratio 1.15

@@ -58,6 +58,11 @@ func main() {
 		cacheJSON  = flag.String("cache-json", "", "write cache benchmark results as JSON to this file")
 		minSpeedup = flag.Float64("cache-min-speedup", 0, "fail when any kind's warm-cache speedup falls below this factor (0 disables)")
 
+		shardBench    = flag.Bool("shard-bench", false, "run the sharded-vs-monolith cross-count benchmark instead of the paper artifacts")
+		shardK        = flag.Int("shard-k", 4, "shard count for the shard benchmark")
+		shardJSON     = flag.String("shard-json", "", "write shard benchmark results as JSON to this file")
+		shardMaxRatio = flag.Float64("shard-max-ratio", 1.15, "warn when the sharded run exceeds this multiple of the monolith (informational; 0 disables)")
+
 		kernelBench   = flag.Bool("kernel-bench", false, "run the scan-kernel micro-benchmark (closure vs typed vs pruned) instead of the paper artifacts")
 		kernelJSON    = flag.String("kernel-json", "", "write kernel benchmark results as JSON to this file")
 		kernelWorkers = flag.Int("kernel-workers", 4, "worker count for the kernel benchmark")
@@ -158,6 +163,12 @@ func main() {
 	}
 	if *kernelBench {
 		if err := runKernelBench(h.ds, *kernelWorkers, *kernelJSON, *kernelTyped, *kernelPruned); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *shardBench {
+		if err := runShardBench(h.ds, *shardK, *shardJSON, *shardMaxRatio); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gdeltmine"
+	"gdeltmine/internal/queries"
+	"gdeltmine/internal/shard"
+)
+
+// shardBenchResult is the sharded fan-out measurement written to
+// -shard-json: wall-clock of the aggregated country query on the monolith
+// (K=1) versus the same store split into K time shards, interleaved and
+// min-of-rounds so scheduler noise cancels.
+type shardBenchResult struct {
+	Shards    int     `json:"shards"`
+	Rounds    int     `json:"rounds"`
+	K1Seconds float64 `json:"k1_seconds"`
+	KNSeconds float64 `json:"kn_seconds"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// runShardBench times the cross-count (aggregated country) query on the
+// monolith against the sharded fan-out path over the same data. The gate
+// is informational: a ratio above maxRatio prints a warning but does not
+// fail the run, because fan-out overhead on small presets is noise-bound —
+// the hard correctness gate is the differential battery, not this timer.
+func runShardBench(ds *gdeltmine.Dataset, k int, jsonPath string, maxRatio float64) error {
+	const rounds = 3
+	db := ds.Engine().DB()
+	sdb, err := shard.Split(db, k)
+	if err != nil {
+		return fmt.Errorf("shard-bench: %w", err)
+	}
+	mono := ds.Engine()
+	view := sdb.View()
+
+	// One untimed warmup each, with a cheap cross-check that both paths
+	// agree on the ranking (the full bit-exactness is pinned by the
+	// differential battery in internal/baseline).
+	mr, err := queries.CountryQuery(mono)
+	if err != nil {
+		return fmt.Errorf("shard-bench: monolith country query: %w", err)
+	}
+	sr, err := view.CountryQuery()
+	if err != nil {
+		return fmt.Errorf("shard-bench: sharded country query: %w", err)
+	}
+	if fmt.Sprint(mr.TopReported) != fmt.Sprint(sr.TopReported) ||
+		fmt.Sprint(mr.TopPublishing) != fmt.Sprint(sr.TopPublishing) {
+		return fmt.Errorf("shard-bench: sharded country ranking diverges from monolith")
+	}
+
+	k1 := time.Duration(1<<62 - 1)
+	kn := k1
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		if _, err := queries.CountryQuery(mono); err != nil {
+			return err
+		}
+		if d := time.Since(start); d < k1 {
+			k1 = d
+		}
+		start = time.Now()
+		if _, err := view.CountryQuery(); err != nil {
+			return err
+		}
+		if d := time.Since(start); d < kn {
+			kn = d
+		}
+	}
+
+	res := shardBenchResult{
+		Shards:    sdb.K(),
+		Rounds:    rounds,
+		K1Seconds: k1.Seconds(),
+		KNSeconds: kn.Seconds(),
+		Ratio:     kn.Seconds() / k1.Seconds(),
+	}
+	fmt.Printf("shard-bench cross-count  K=1 %8.4fms  K=%d %8.4fms  ratio %.2fx\n",
+		res.K1Seconds*1e3, res.Shards, res.KNSeconds*1e3, res.Ratio)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if maxRatio > 0 && res.Ratio > maxRatio {
+		fmt.Fprintf(os.Stderr, "shard-bench: WARNING: K=%d ran %.2fx the K=1 wall time (informational limit %.2fx)\n",
+			res.Shards, res.Ratio, maxRatio)
+	} else if maxRatio > 0 {
+		fmt.Printf("sharded fan-out within %.2fx of the monolith\n", maxRatio)
+	}
+	return nil
+}

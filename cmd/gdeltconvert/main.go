@@ -11,6 +11,12 @@
 // Usage:
 //
 //	gdeltconvert -in ./dataset -out ./gdelt.gdmb [-retries 5] [-max-quarantine-frac 1.0]
+//	             [-shards 4]
+//
+// With -shards K > 1 the converted store is additionally split on
+// capture-interval boundaries into K time-range shards written next to
+// -out (one <out>.shard<i> per shard plus a <out>.shards manifest), ready
+// for `gdeltserve -db <out>.shards`.
 //
 // Exit codes: 0 success, 1 fatal error, 2 usage,
 // 3 quarantine threshold exceeded (dataset too damaged).
@@ -30,6 +36,7 @@ import (
 	"gdeltmine"
 	"gdeltmine/internal/report"
 	"gdeltmine/internal/retry"
+	"gdeltmine/internal/shard"
 )
 
 func main() {
@@ -40,6 +47,7 @@ func main() {
 		out     = flag.String("out", "", "output binary database path (required)")
 		retries = flag.Int("retries", 5, "chunk read attempts before quarantining (transient failures only)")
 		maxQuar = flag.Float64("max-quarantine-frac", 1.0, "abort when more than this fraction of chunks quarantine")
+		shards  = flag.Int("shards", 0, "also write a K-shard layout next to -out (manifest <out>.shards + one file per shard); 0 disables")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
@@ -93,6 +101,19 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote %s (%.1f MB) in %v\n", *out, float64(info.Size())/1e6, saveTime.Round(time.Millisecond))
+	if *shards > 1 {
+		start = time.Now()
+		sdb, err := shard.Split(ds.Engine().DB(), *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		manifest := *out + ".shards"
+		if err := shard.WriteFiles(manifest, sdb); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-shard layout (manifest %s) in %v\n",
+			sdb.K(), manifest, time.Since(start).Round(time.Millisecond))
+	}
 	fmt.Println()
 	fmt.Print(report.TableII(ds.Report()))
 }

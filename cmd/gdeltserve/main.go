@@ -18,6 +18,14 @@
 //
 //	gdeltserve -db ./gdelt.gdmb -addr :8321 [-request-timeout 30s]
 //	           [-max-inflight 64] [-shutdown-grace 15s] [-cache-bytes 268435456]
+//	           [-shards 4]
+//
+// With -shards K > 1 the loaded store is re-sliced into K time-range
+// shards (internal/shard) and every query fans out per shard, reducing
+// through a shared global dictionary; results are identical to the
+// monolith. Cache keys then embed the per-shard version vector, so a
+// tail-shard append invalidates only entries whose window touches the
+// tail.
 //
 // The query surface is registry-driven: every kind known to
 // internal/registry is served under /api/v1/<kind> (run `gdeltquery list`
@@ -43,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +59,7 @@ import (
 	"gdeltmine/internal/qcache"
 	"gdeltmine/internal/report"
 	"gdeltmine/internal/serve"
+	"gdeltmine/internal/shard"
 )
 
 func main() {
@@ -64,31 +74,56 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		cacheBytes = flag.Int64("cache-bytes", qcache.DefaultMaxBytes,
 			"approximate memory budget of the query result cache; 0 disables caching")
+		shards = flag.Int("shards", 0,
+			"partition the store into K time-range shards and fan queries out per shard; 0/1 serves the monolith")
 	)
 	flag.Parse()
 	if *dbPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	start := time.Now()
-	db, err := binfmt.ReadFile(*dbPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("loaded %s articles from %s in %v\n",
-		report.Int(int64(db.Mentions.Len())), *dbPath, time.Since(start).Round(time.Millisecond))
-
 	// Flag semantics: 0 disables caching; Config uses negative for "off".
 	cacheBudget := *cacheBytes
 	if cacheBudget == 0 {
 		cacheBudget = -1
 	}
-	srv := serve.NewWithConfig(db, serve.Config{
+	cfg := serve.Config{
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxFlight,
 		EnablePprof:    *pprofOn,
 		CacheBytes:     cacheBudget,
-	})
+	}
+	start := time.Now()
+	var srv *serve.Server
+	if strings.HasSuffix(*dbPath, ".shards") {
+		// A sharded layout written by `gdeltconvert -shards` or
+		// shard.WriteFiles: manifest plus one store file per shard.
+		sdb, err := shard.LoadFile(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s articles (%d shards) from %s in %v\n",
+			report.Int(sdb.View().Dataset().Articles), sdb.K(), *dbPath,
+			time.Since(start).Round(time.Millisecond))
+		srv = serve.NewSharded(sdb, cfg)
+	} else {
+		db, err := binfmt.ReadFile(*dbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s articles from %s in %v\n",
+			report.Int(int64(db.Mentions.Len())), *dbPath, time.Since(start).Round(time.Millisecond))
+		if *shards > 1 {
+			sdb, err := shard.Split(db, *shards)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("sharded into %d time partitions\n", sdb.K())
+			srv = serve.NewSharded(sdb, cfg)
+		} else {
+			srv = serve.NewWithConfig(db, cfg)
+		}
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

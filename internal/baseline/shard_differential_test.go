@@ -1,0 +1,179 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"gdeltmine/internal/convert"
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gen"
+	"gdeltmine/internal/queries"
+	"gdeltmine/internal/registry"
+	"gdeltmine/internal/shard"
+	"gdeltmine/internal/store"
+)
+
+// buildCorpus generates and converts one synthetic world.
+func buildCorpus(t *testing.T, cfg gen.Config) *store.DB {
+	t.Helper()
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := convert.FromCorpus(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.DB
+}
+
+// themeParam picks a real theme name for the theme-trends kind, or "".
+func themeParam(t *testing.T, db *store.DB) string {
+	t.Helper()
+	if db.GKG == nil {
+		return ""
+	}
+	tc, err := queries.TopThemes(engine.New(db), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc) == 0 {
+		return ""
+	}
+	return tc[0].Theme
+}
+
+// TestShardDifferentialAllKinds is the shard-vs-monolith battery: every
+// registered query kind, on two generated worlds, sharded at K in {1,3,5}
+// and executed with 1 and 4 workers, must produce the monolith's answer —
+// integers bit-exact, floats within 1e-9 relative (eqTree). K=1 pins the
+// degenerate single-shard path, odd K puts shard boundaries away from any
+// structure in the data, and the worker sweep forbids results that depend
+// on reduction schedule. ci.sh runs this battery under -race.
+func TestShardDifferentialAllKinds(t *testing.T) {
+	alt := gen.Small()
+	alt.Seed = 777
+	alt.End = 20170101000000 // shorter world: different interval count and quarters
+	worlds := []struct {
+		name string
+		cfg  gen.Config
+	}{
+		{"seed42", gen.Small()},
+		{"seed777", alt},
+	}
+	for _, w := range worlds {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			db := buildCorpus(t, w.cfg)
+			themeArg := themeParam(t, db)
+			params := func(name string) []string {
+				if name == "theme" && themeArg != "" {
+					return []string{themeArg}
+				}
+				return nil
+			}
+
+			// Monolith reference, single worker: the answer every sharded
+			// execution must reproduce.
+			refs := map[string]any{}
+			for _, d := range registry.All() {
+				if d.NeedsGKG && db.GKG == nil {
+					continue
+				}
+				p, err := d.ParseParams(params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := d.Run(engine.New(db).WithWorkers(1).WithKind(d.Kind), p)
+				if err != nil {
+					t.Fatalf("%s: monolith: %v", d.Kind, err)
+				}
+				refs[d.Kind] = jsonTree(t, ref)
+			}
+
+			for _, k := range []int{1, 3, 5} {
+				sdb, err := shard.Split(db, k)
+				if err != nil {
+					t.Fatalf("Split(%d): %v", k, err)
+				}
+				for _, workers := range []int{1, 4} {
+					t.Run(fmt.Sprintf("k%d/w%d", k, workers), func(t *testing.T) {
+						v := sdb.View().WithWorkers(workers)
+						for _, d := range registry.All() {
+							refTree, ok := refs[d.Kind]
+							if !ok {
+								continue
+							}
+							p, err := d.ParseParams(params)
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := d.RunSharded(v.WithKind(d.Kind), p)
+							if err != nil {
+								t.Errorf("%s: sharded: %v", d.Kind, err)
+								continue
+							}
+							if err := eqTree(d.Kind, refTree, jsonTree(t, got)); err != nil {
+								t.Errorf("%s: sharded diverges from monolith: %v", d.Kind, err)
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestShardDifferentialWindowed repeats the battery for a windowed view on
+// the kinds that honor the mention window, with window endpoints chosen to
+// fall both on and off shard boundaries.
+func TestShardDifferentialWindowed(t *testing.T) {
+	db := buildCorpus(t, gen.Small())
+	iv := db.Meta.Intervals
+	windows := [][2]int32{
+		{0, iv},                // explicit full window
+		{iv / 5, iv - iv/7},    // interior, off-boundary
+		{iv / 3, iv/3 + iv/11}, // narrow
+		{0, 0},                 // explicitly empty
+		{iv - iv/13, iv},       // tail-only: the streaming case
+	}
+	for _, k := range []int{1, 3, 5} {
+		sdb, err := shard.Split(db, k)
+		if err != nil {
+			t.Fatalf("Split(%d): %v", k, err)
+		}
+		for _, win := range windows {
+			win := win
+			t.Run(fmt.Sprintf("k%d/win%d-%d", k, win[0], win[1]), func(t *testing.T) {
+				v := sdb.View().WithWorkers(4).WithWindow(win[0], win[1])
+				for _, d := range registry.All() {
+					if d.NeedsGKG && db.GKG == nil {
+						continue
+					}
+					p, err := d.ParseParams(func(name string) []string {
+						if name == "theme" {
+							return []string{themeParam(t, db)}
+						}
+						return nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					e := engine.New(db).WithWorkers(1).WithKind(d.Kind).WithInterval(win[0], win[1])
+					ref, err := d.Run(e, p)
+					if err != nil {
+						t.Fatalf("%s: monolith: %v", d.Kind, err)
+					}
+					got, err := d.RunSharded(v.WithKind(d.Kind), p)
+					if err != nil {
+						t.Errorf("%s: sharded: %v", d.Kind, err)
+						continue
+					}
+					if err := eqTree(d.Kind, jsonTree(t, ref), jsonTree(t, got)); err != nil {
+						t.Errorf("%s: windowed sharded diverges: %v", d.Kind, err)
+					}
+				}
+			})
+		}
+	}
+}

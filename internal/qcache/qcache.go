@@ -111,6 +111,7 @@ type Cache struct {
 	entries     map[Key]*list.Element
 	inflight    map[Key]*flight
 	lastVersion uint64
+	stale       func(Key) bool
 
 	// Observability: process-wide counters (shared across Cache instances
 	// in one process, like the serve metrics) plus hit/miss latency split.
@@ -267,9 +268,22 @@ func (c *Cache) insertLocked(key Key, val any) {
 	c.publishLocked()
 }
 
-// sweepLocked retires every entry computed before version once a lookup
-// proves the store has moved on. Entries die in one O(resident) pass on
-// the first post-append lookup, not via TTL decay.
+// SetStale installs a store-specific staleness predicate consulted during
+// version sweeps instead of the default "entry version < sweep version"
+// rule. Sharded stores use it to retire exactly the entries whose window
+// overlaps a bumped shard (shard.DB.StaleKey) while keeping results for
+// cold shards warm across tail appends. fn must be safe for concurrent
+// calls and fast — it runs under the cache lock.
+func (c *Cache) SetStale(fn func(Key) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stale = fn
+}
+
+// sweepLocked retires every stale entry once a lookup proves the store has
+// moved on. Entries die in one O(resident) pass on the first post-append
+// lookup, not via TTL decay. Staleness defaults to "computed before
+// version"; SetStale refines it.
 func (c *Cache) sweepLocked(version uint64) {
 	if version <= c.lastVersion {
 		return
@@ -278,7 +292,12 @@ func (c *Cache) sweepLocked(version uint64) {
 	var next *list.Element
 	for el := c.ll.Front(); el != nil; el = next {
 		next = el.Next()
-		if el.Value.(*entry).key.Version < version {
+		key := el.Value.(*entry).key
+		dead := key.Version < version
+		if c.stale != nil {
+			dead = c.stale(key)
+		}
+		if dead {
 			c.removeLocked(el)
 			c.invalidations.Inc()
 		}

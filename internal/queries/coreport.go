@@ -187,20 +187,29 @@ func coReportRows(db *store.DB, acc *coPartial, rows []int32, slot []int32, pres
 }
 
 func finishCoReport(e *engine.Engine, sources []int32, res *coPartial) (*CoReporting, error) {
-	jac, err := matrix.JaccardFromPairCounts(res.pair, res.counts)
+	names := make([]string, 0, len(sources))
+	for _, s := range sources {
+		names = append(names, e.DB().Sources.Name(s))
+	}
+	return FinishCoReporting(sources, names, res.counts, res.pair)
+}
+
+// FinishCoReporting assembles the CoReporting result from the raw pair and
+// singleton counts. Display names are caller-supplied: the monolithic path
+// resolves them in the store's dictionary, the sharded path in the global
+// one.
+func FinishCoReporting(sources []int32, names []string, counts []int64, pair *matrix.Int64) (*CoReporting, error) {
+	jac, err := matrix.JaccardFromPairCounts(pair, counts)
 	if err != nil {
 		return nil, err
 	}
-	out := &CoReporting{
+	return &CoReporting{
 		Sources:     sources,
-		EventCounts: res.counts,
-		Pair:        res.pair,
+		Names:       names,
+		EventCounts: counts,
+		Pair:        pair,
 		Jaccard:     jac,
-	}
-	for _, s := range sources {
-		out.Names = append(out.Names, e.DB().Sources.Name(s))
-	}
-	return out, nil
+	}, nil
 }
 
 // CoReport computes co-reporting among the selected sources via the
@@ -397,6 +406,17 @@ func followReportRows(db *store.DB, acc *matrix.Int64, rows []int32, slot []int3
 }
 
 func finishFollowReport(e *engine.Engine, sources []int32, articles []int64, nm *matrix.Int64) *FollowReporting {
+	names := make([]string, 0, len(sources))
+	for _, s := range sources {
+		names = append(names, e.DB().Sources.Name(s))
+	}
+	return FinishFollowReporting(sources, names, articles, nm)
+}
+
+// FinishFollowReporting assembles the FollowReporting result from the raw
+// follow matrix and per-source article totals, with caller-supplied display
+// names (see FinishCoReporting).
+func FinishFollowReporting(sources []int32, names []string, articles []int64, nm *matrix.Int64) *FollowReporting {
 	n := len(sources)
 	f := matrix.NewDense(n, n)
 	for i := 0; i < n; i++ {
@@ -406,17 +426,14 @@ func finishFollowReport(e *engine.Engine, sources []int32, articles []int64, nm 
 			}
 		}
 	}
-	out := &FollowReporting{
+	return &FollowReporting{
 		Sources:  sources,
+		Names:    names,
 		Articles: articles,
 		N:        nm,
 		F:        f,
 		ColSums:  f.ColSums(),
 	}
-	for _, s := range sources {
-		out.Names = append(out.Names, e.DB().Sources.Name(s))
-	}
-	return out
 }
 
 func selectedArticles(e *engine.Engine, sources []int32) []int64 {

@@ -96,14 +96,22 @@ func CountryQuery(e *engine.Engine) (*CountryReport, error) {
 		},
 	)
 
-	jac, err := matrix.JaccardFromPairCounts(res.pair, res.counts)
+	eventCounts := e.GroupCountEventsCol(nc, db.EventCountryLUT(), nil,
+		engine.PredGT(db.Events.NumArticles, 0))
+	return FinishCountryReport(cross, res.pair, res.counts, eventCounts)
+}
+
+// FinishCountryReport derives the report's orderings and normalizations
+// from the raw aggregates: the mention cross-count matrix, the per-event
+// country pair counts and singleton counts, and the per-country event
+// counts. Shared by the monolithic and sharded executions so both take
+// the exact same arithmetic path.
+func FinishCountryReport(cross, pair *matrix.Int64, counts, eventCounts []int64) (*CountryReport, error) {
+	nc := countryCount
+	jac, err := matrix.JaccardFromPairCounts(pair, counts)
 	if err != nil {
 		return nil, err
 	}
-
-	// Derived orderings and normalizations.
-	eventCounts := e.GroupCountEventsCol(nc, db.EventCountryLUT(), nil,
-		engine.PredGT(db.Events.NumArticles, 0))
 	articleCounts := cross.ToDense().ColSums()
 	artInts := make([]int64, nc)
 	for c, v := range articleCounts {

@@ -5,6 +5,8 @@ import (
 
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/shard"
+	"gdeltmine/internal/store"
 )
 
 // Common parameters accepted by every query kind, on top of each
@@ -22,12 +24,18 @@ func IsCommonParam(name string) bool {
 	return name == ParamWorkers || name == ParamFrom || name == ParamTo
 }
 
-// DeriveEngine applies the common parameters to a base engine view:
-// workers pins the parallel worker count (0 restores the default), and
-// from/to restrict scans to the capture intervals of a timestamp window.
-// Transport concerns (request context, kind label) stay with the caller;
-// errors are parameter errors (IsBadParam).
-func DeriveEngine(e *engine.Engine, get func(name string) []string) (*engine.Engine, error) {
+// commonParams is the parsed form of the view-shaping parameters, shared
+// by the monolithic (DeriveEngine) and sharded (DeriveView) derivations so
+// both resolve workers and timestamp windows identically.
+type commonParams struct {
+	workers    int
+	hasWorkers bool
+	lo, hi     int32
+	windowed   bool
+}
+
+func parseCommon(meta store.Meta, get func(name string) []string) (commonParams, error) {
+	var c commonParams
 	one := func(name string) string {
 		v := get(name)
 		if len(v) == 0 {
@@ -38,39 +46,73 @@ func DeriveEngine(e *engine.Engine, get func(name string) []string) (*engine.Eng
 	if ws := one(ParamWorkers); ws != "" {
 		w, err := strconv.Atoi(ws)
 		if err != nil || w < 0 {
-			return nil, BadParamf("invalid workers %q", ws)
+			return c, BadParamf("invalid workers %q", ws)
 		}
-		e = e.WithWorkers(w)
+		c.workers, c.hasWorkers = w, true
 	}
 	from, to := one(ParamFrom), one(ParamTo)
 	if from != "" || to != "" {
-		db := e.DB()
-		base := db.Meta.Start.IntervalIndex()
-		lo, hi := int64(0), int64(db.Meta.Intervals)
+		base := meta.Start.IntervalIndex()
+		lo, hi := int64(0), int64(meta.Intervals)
 		if from != "" {
 			ts, err := gdelt.ParseTimestamp(from)
 			if err != nil {
-				return nil, BadParamf("invalid from: %v", err)
+				return c, BadParamf("invalid from: %v", err)
 			}
 			lo = ts.IntervalIndex() - base
 		}
 		if to != "" {
 			ts, err := gdelt.ParseTimestamp(to)
 			if err != nil {
-				return nil, BadParamf("invalid to: %v", err)
+				return c, BadParamf("invalid to: %v", err)
 			}
 			hi = ts.IntervalIndex() - base
 		}
 		if lo < 0 {
 			lo = 0
 		}
-		if hi > int64(db.Meta.Intervals) {
-			hi = int64(db.Meta.Intervals)
+		if hi > int64(meta.Intervals) {
+			hi = int64(meta.Intervals)
 		}
 		if hi < lo {
-			return nil, BadParamf("empty window")
+			return c, BadParamf("empty window")
 		}
-		e = e.WithInterval(int32(lo), int32(hi))
+		c.lo, c.hi, c.windowed = int32(lo), int32(hi), true
+	}
+	return c, nil
+}
+
+// DeriveEngine applies the common parameters to a base engine view:
+// workers pins the parallel worker count (0 restores the default), and
+// from/to restrict scans to the capture intervals of a timestamp window.
+// Transport concerns (request context, kind label) stay with the caller;
+// errors are parameter errors (IsBadParam).
+func DeriveEngine(e *engine.Engine, get func(name string) []string) (*engine.Engine, error) {
+	c, err := parseCommon(e.DB().Meta, get)
+	if err != nil {
+		return nil, err
+	}
+	if c.hasWorkers {
+		e = e.WithWorkers(c.workers)
+	}
+	if c.windowed {
+		e = e.WithInterval(c.lo, c.hi)
 	}
 	return e, nil
+}
+
+// DeriveView is DeriveEngine for a sharded view: the same parameters
+// parsed the same way, applied to the fan-out execution context.
+func DeriveView(v *shard.View, get func(name string) []string) (*shard.View, error) {
+	c, err := parseCommon(v.DB().Meta(), get)
+	if err != nil {
+		return nil, err
+	}
+	if c.hasWorkers {
+		v = v.WithWorkers(c.workers)
+	}
+	if c.windowed {
+		v = v.WithWindow(c.lo, c.hi)
+	}
+	return v, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/qcache"
+	"gdeltmine/internal/shard"
 )
 
 // Executor runs registered queries through an optional result cache. It is
@@ -48,4 +49,37 @@ func (x *Executor) Execute(d *Descriptor, e *engine.Engine, p Params) (any, qcac
 		Version: e.DB().Version(),
 	}
 	return x.Cache.Do(e.Context(), key, compute)
+}
+
+// ExecuteSharded is Execute against a sharded view. The cache key's Window
+// embeds the per-shard version vector of the overlapping shards (see
+// shard.DB.WindowVersionKey) and Version is the max over them, so a
+// tail-shard append invalidates exactly the entries whose windows touch
+// the tail while cold-shard entries stay warm.
+func (x *Executor) ExecuteSharded(d *Descriptor, v *shard.View, p Params) (any, qcache.Outcome, error) {
+	if d.RunSharded == nil {
+		return nil, qcache.Bypass, fmt.Errorf("registry: kind %q has no sharded execution", d.Kind)
+	}
+	compute := func() (any, error) {
+		val, err := d.RunSharded(v, p)
+		if err != nil {
+			return nil, err
+		}
+		if cerr := v.Context().Err(); cerr != nil {
+			return nil, cerr
+		}
+		return val, nil
+	}
+	if x == nil || x.Cache == nil {
+		val, err := compute()
+		return val, qcache.Bypass, err
+	}
+	from, to := v.Window()
+	key := qcache.Key{
+		Kind:    d.Kind,
+		Params:  d.Canonical(p),
+		Window:  v.DB().WindowVersionKey(from, to),
+		Version: v.DB().VersionMax(from, to),
+	}
+	return x.Cache.Do(v.Context(), key, compute)
 }

@@ -4,12 +4,18 @@ import (
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/queries"
+	"gdeltmine/internal/shard"
+	"gdeltmine/internal/store"
 )
 
 // The named result types below freeze the JSON shapes the HTTP API serves;
 // before the registry they lived as anonymous structs inside individual
 // handlers. Query kinds whose natural result type already encodes well
 // (queries.DatasetStats, []queries.TopEvent, ...) return it directly.
+// Every kind carries both Run (monolithic engine) and RunSharded (fan-out
+// over a shard.View); the shaping helpers are shared so the two paths can
+// only diverge in the aggregation itself — which the differential battery
+// then pins to zero divergence.
 
 // Defect is one row of the defects report (Table II classes).
 type Defect struct {
@@ -85,14 +91,76 @@ func whereParam() ParamSpec {
 		Help: "qlang filter expression (empty matches every article)"}
 }
 
-// topPublisherRows resolves ids/counts into ranked display rows.
-func topPublisherRows(e *engine.Engine, ids []int32, counts []int64) []PublisherRow {
-	db := e.DB()
+// topPublisherRows resolves ids/counts into ranked display rows against
+// the dictionary that owns the ids (store-local or shard-global).
+func topPublisherRows(dict *store.Dictionary, ids []int32, counts []int64) []PublisherRow {
 	out := make([]PublisherRow, len(ids))
 	for i := range ids {
-		out[i] = PublisherRow{Rank: i + 1, Source: db.Sources.Name(ids[i]), Articles: counts[i]}
+		out[i] = PublisherRow{Rank: i + 1, Source: dict.Name(ids[i]), Articles: counts[i]}
 	}
 	return out
+}
+
+func defectRows(rep *gdelt.ValidationReport) []Defect {
+	out := make([]Defect, 0, len(rep.Counts))
+	for c, n := range rep.Counts {
+		out = append(out, Defect{Class: gdelt.DefectClass(c).String(), Count: n})
+	}
+	return out
+}
+
+func eventSizeResult(d queries.EventSizeDistribution) EventSizeResult {
+	return EventSizeResult{Counts: d.Counts, Alpha: d.Fit.Alpha, R2: d.Fit.R2}
+}
+
+func countryResult(cr *queries.CountryReport, k int) CountryResult {
+	k = clampK(k, len(cr.TopReported))
+	k = clampK(k, len(cr.TopPublishing))
+	rows := cr.TopReported[:k]
+	cols := cr.TopPublishing[:k]
+	name := func(idx []int) []string {
+		out := make([]string, len(idx))
+		for i, c := range idx {
+			out[i] = gdelt.Countries[c].Name
+		}
+		return out
+	}
+	cross := make([][]int64, k)
+	pct := make([][]float64, k)
+	co := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		cross[i] = make([]int64, k)
+		pct[i] = make([]float64, k)
+		co[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			cross[i][j] = cr.Cross.At(rows[i], cols[j])
+			pct[i][j] = cr.Fractions.At(rows[i], cols[j])
+			co[i][j] = cr.CoReporting.At(cols[i], cols[j])
+		}
+	}
+	return CountryResult{
+		Reported:    name(rows),
+		Publishing:  name(cols),
+		Cross:       cross,
+		Percent:     pct,
+		CoReporting: co,
+	}
+}
+
+func followResult(fr *queries.FollowReporting) FollowResult {
+	f := make([][]float64, len(fr.Sources))
+	for i := range f {
+		f[i] = append([]float64(nil), fr.F.Row(i)...)
+	}
+	return FollowResult{Names: fr.Names, F: f, ColSums: fr.ColSums}
+}
+
+func coreportResult(co *queries.CoReporting) CoReportResult {
+	jac := make([][]float64, len(co.Sources))
+	for i := range jac {
+		jac[i] = append([]float64(nil), co.Jaccard.Row(i)...)
+	}
+	return CoReportResult{Names: co.Names, Jaccard: jac}
 }
 
 func init() {
@@ -102,17 +170,19 @@ func init() {
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.Dataset(e), nil
 		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return v.Dataset(), nil
+		},
 	})
 
 	register(&Descriptor{
 		Kind: "defects",
 		Help: "input defect classes observed during conversion (Table II)",
 		Run: func(e *engine.Engine, p Params) (any, error) {
-			out := make([]Defect, 0, len(e.DB().Report.Counts))
-			for c, n := range e.DB().Report.Counts {
-				out = append(out, Defect{Class: gdelt.DefectClass(c).String(), Count: n})
-			}
-			return out, nil
+			return defectRows(e.DB().Report), nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return defectRows(v.DB().Report()), nil
 		},
 	})
 
@@ -123,7 +193,12 @@ func init() {
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			k := clampK(p.Int("k"), e.DB().Sources.Len())
 			ids, counts := queries.TopPublishers(e, k)
-			return topPublisherRows(e, ids, counts), nil
+			return topPublisherRows(e.DB().Sources, ids, counts), nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			k := clampK(p.Int("k"), v.DB().Sources().Len())
+			ids, counts := v.TopPublishers(k)
+			return topPublisherRows(v.DB().Sources(), ids, counts), nil
 		},
 	})
 
@@ -134,14 +209,19 @@ func init() {
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.TopEvents(e, clampK(p.Int("k"), e.DB().Events.Len())), nil
 		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return v.TopEvents(clampK(p.Int("k"), v.DB().EventCount())), nil
+		},
 	})
 
 	register(&Descriptor{
 		Kind: "event-sizes",
 		Help: "event size distribution with power-law fit (Figure 2)",
 		Run: func(e *engine.Engine, p Params) (any, error) {
-			d := queries.EventSizes(e, 2)
-			return EventSizeResult{Counts: d.Counts, Alpha: d.Fit.Alpha, R2: d.Fit.R2}, nil
+			return eventSizeResult(queries.EventSizes(e, 2)), nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return eventSizeResult(v.EventSizes(2)), nil
 		},
 	})
 
@@ -155,37 +235,14 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			k := clampK(p.Int("k"), len(cr.TopReported))
-			k = clampK(k, len(cr.TopPublishing))
-			rows := cr.TopReported[:k]
-			cols := cr.TopPublishing[:k]
-			name := func(idx []int) []string {
-				out := make([]string, len(idx))
-				for i, c := range idx {
-					out[i] = gdelt.Countries[c].Name
-				}
-				return out
+			return countryResult(cr, p.Int("k")), nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			cr, err := v.CountryQuery()
+			if err != nil {
+				return nil, err
 			}
-			cross := make([][]int64, k)
-			pct := make([][]float64, k)
-			co := make([][]float64, k)
-			for i := 0; i < k; i++ {
-				cross[i] = make([]int64, k)
-				pct[i] = make([]float64, k)
-				co[i] = make([]float64, k)
-				for j := 0; j < k; j++ {
-					cross[i][j] = cr.Cross.At(rows[i], cols[j])
-					pct[i][j] = cr.Fractions.At(rows[i], cols[j])
-					co[i][j] = cr.CoReporting.At(cols[i], cols[j])
-				}
-			}
-			return CountryResult{
-				Reported:    name(rows),
-				Publishing:  name(cols),
-				Cross:       cross,
-				Percent:     pct,
-				CoReporting: co,
-			}, nil
+			return countryResult(cr, p.Int("k")), nil
 		},
 	})
 
@@ -196,12 +253,12 @@ func init() {
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			k := clampK(p.Int("k"), e.DB().Sources.Len())
 			ids, _ := queries.TopPublishers(e, k)
-			fr := queries.FollowReport(e, ids)
-			f := make([][]float64, len(ids))
-			for i := range f {
-				f[i] = append([]float64(nil), fr.F.Row(i)...)
-			}
-			return FollowResult{Names: fr.Names, F: f, ColSums: fr.ColSums}, nil
+			return followResult(queries.FollowReport(e, ids)), nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			k := clampK(p.Int("k"), v.DB().Sources().Len())
+			ids, _ := v.TopPublishers(k)
+			return followResult(v.FollowReport(ids)), nil
 		},
 	})
 
@@ -216,11 +273,16 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			jac := make([][]float64, len(ids))
-			for i := range jac {
-				jac[i] = append([]float64(nil), co.Jaccard.Row(i)...)
+			return coreportResult(co), nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			k := clampK(p.Int("k"), v.DB().Sources().Len())
+			ids, _ := v.TopPublishers(k)
+			co, err := v.CoReport(ids)
+			if err != nil {
+				return nil, err
 			}
-			return CoReportResult{Names: co.Names, Jaccard: jac}, nil
+			return coreportResult(co), nil
 		},
 	})
 
@@ -233,6 +295,11 @@ func init() {
 			ids, _ := queries.TopPublishers(e, k)
 			return queries.PublisherDelays(e, ids), nil
 		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			k := clampK(p.Int("k"), v.DB().Sources().Len())
+			ids, _ := v.TopPublishers(k)
+			return v.PublisherDelays(ids), nil
+		},
 	})
 
 	register(&Descriptor{
@@ -240,6 +307,9 @@ func init() {
 		Help: "mean publishing delay per quarter (Figure 10)",
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.QuarterlyDelays(e), nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return v.QuarterlyDelays(), nil
 		},
 	})
 
@@ -249,6 +319,9 @@ func init() {
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.ArticlesPerQuarter(e), nil
 		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return v.ArticlesPerQuarter(), nil
+		},
 	})
 
 	register(&Descriptor{
@@ -256,6 +329,9 @@ func init() {
 		Help: "events per quarter (Figure 5)",
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.EventsPerQuarter(e), nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return v.EventsPerQuarter(), nil
 		},
 	})
 
@@ -265,6 +341,9 @@ func init() {
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.ActiveSourcesPerQuarter(e), nil
 		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return v.ActiveSourcesPerQuarter(), nil
+		},
 	})
 
 	register(&Descriptor{
@@ -272,6 +351,9 @@ func init() {
 		Help: "slow articles (delay > 1 interval) per quarter (Figure 11)",
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.SlowArticlesPerQuarter(e), nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return v.SlowArticlesPerQuarter(), nil
 		},
 	})
 
@@ -289,6 +371,9 @@ func init() {
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.FastSpreadingEvents(e, int32(p.Int("window")), p.Int("min"), p.Int("k")), nil
 		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return v.FastSpreadingEvents(int32(p.Int("window")), p.Int("min"), p.Int("k")), nil
+		},
 	})
 
 	register(&Descriptor{
@@ -298,6 +383,14 @@ func init() {
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			expr := p.Str("where")
 			n, err := queries.CountWhere(e, expr)
+			if err != nil {
+				return nil, BadParam(err)
+			}
+			return CountResult{Where: expr, Articles: n}, nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			expr := p.Str("where")
+			n, err := v.CountWhere(expr)
 			if err != nil {
 				return nil, BadParam(err)
 			}
@@ -315,7 +408,15 @@ func init() {
 			if err != nil {
 				return nil, BadParam(err)
 			}
-			return topPublisherRows(e, ids, counts), nil
+			return topPublisherRows(e.DB().Sources, ids, counts), nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			k := clampK(p.Int("k"), v.DB().Sources().Len())
+			ids, counts, err := v.TopPublishersWhere(p.Str("where"), k)
+			if err != nil {
+				return nil, BadParam(err)
+			}
+			return topPublisherRows(v.DB().Sources(), ids, counts), nil
 		},
 	})
 
@@ -325,6 +426,13 @@ func init() {
 		Params: []ParamSpec{whereParam()},
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			s, err := queries.ArticlesPerQuarterWhere(e, p.Str("where"))
+			if err != nil {
+				return nil, BadParam(err)
+			}
+			return s, nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			s, err := v.ArticlesPerQuarterWhere(p.Str("where"))
 			if err != nil {
 				return nil, BadParam(err)
 			}
@@ -340,6 +448,9 @@ func init() {
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.TopThemes(e, p.Int("k"))
 		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return v.TopThemes(p.Int("k"))
+		},
 	})
 
 	register(&Descriptor{
@@ -351,6 +462,9 @@ func init() {
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.ThemeTrends(e, p.Strings("theme"))
 		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			return v.ThemeTrends(p.Strings("theme"))
+		},
 	})
 
 	register(&Descriptor{
@@ -359,6 +473,13 @@ func init() {
 		NeedsGKG: true,
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			labels, share, err := queries.TranslatedShare(e)
+			if err != nil {
+				return nil, err
+			}
+			return TranslatedShareResult{Labels: labels, Share: share}, nil
+		},
+		RunSharded: func(v *shard.View, p Params) (any, error) {
+			labels, share, err := v.TranslatedShare()
 			if err != nil {
 				return nil, err
 			}

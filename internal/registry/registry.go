@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"gdeltmine/internal/engine"
+	"gdeltmine/internal/shard"
 )
 
 // ParamType is the wire type of one query parameter.
@@ -139,6 +140,12 @@ type Descriptor struct {
 	// freshly built, JSON-encodable value that callers treat as immutable
 	// — it may be shared by reference across concurrent cached requests.
 	Run func(e *engine.Engine, p Params) (any, error)
+	// RunSharded executes the query against a sharded view, fanning out
+	// per shard and reducing through the global dictionary remaps. It must
+	// produce the same value (bit-exact integers, 1e-9 floats) as Run on
+	// the equivalent monolith — the invariant the differential battery in
+	// internal/baseline pins for every kind.
+	RunSharded func(v *shard.View, p Params) (any, error)
 }
 
 // ParseParams resolves the descriptor's schema against get, which returns

@@ -29,13 +29,18 @@ import (
 	"gdeltmine/internal/qcache"
 	"gdeltmine/internal/queries"
 	"gdeltmine/internal/registry"
+	"gdeltmine/internal/shard"
 	"gdeltmine/internal/store"
 )
 
-// Server serves analysis queries over one immutable dataset.
+// Server serves analysis queries over one immutable dataset — either a
+// monolithic store or a time-partitioned shard set (NewSharded), in which
+// case queries fan out per shard and reduce through the global dictionary
+// remaps.
 type Server struct {
 	db        *store.DB
 	eng       *engine.Engine
+	sview     *shard.View // non-nil when serving a sharded dataset
 	cfg       Config
 	handler   http.Handler
 	slots     chan struct{} // load-shedding semaphore, nil when unlimited
@@ -76,7 +81,21 @@ func New(db *store.DB) *Server { return NewWithConfig(db, Config{}) }
 // NewWithConfig returns a server with the given timeout, load-shedding and
 // cache limits applied to every query endpoint.
 func NewWithConfig(db *store.DB, cfg Config) *Server {
-	s := &Server{db: db, eng: engine.New(db), cfg: cfg, endpoints: make(map[string]*endpointMetrics)}
+	return newServer(&Server{db: db, eng: engine.New(db)}, cfg)
+}
+
+// NewSharded returns a server over a time-partitioned shard set. Every
+// query fans out per shard (registry ExecuteSharded); cache keys embed the
+// per-shard version vector, and the cache's staleness predicate retires
+// exactly the entries whose window overlaps a bumped shard — a tail-shard
+// append keeps results for cold shards warm.
+func NewSharded(sdb *shard.DB, cfg Config) *Server {
+	return newServer(&Server{sview: sdb.View()}, cfg)
+}
+
+func newServer(s *Server, cfg Config) *Server {
+	s.cfg = cfg
+	s.endpoints = make(map[string]*endpointMetrics)
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -84,6 +103,9 @@ func NewWithConfig(db *store.DB, cfg Config) *Server {
 		s.exec = &registry.Executor{} // caching disabled: every query scans
 	} else {
 		s.exec = &registry.Executor{Cache: qcache.New(cfg.CacheBytes)}
+	}
+	if s.sview != nil && s.exec.Cache != nil {
+		s.exec.Cache.SetStale(s.sview.DB().StaleKey)
 	}
 	s.ready.Store(true)
 	mux := http.NewServeMux()
@@ -168,21 +190,39 @@ func (s *Server) legacySeries(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, d *registry.Descriptor) {
 	kind := kindOf(r)
 	q := r.URL.Query()
-	e := s.eng.WithContext(r.Context())
-	if kind != "" {
-		e = e.WithKind(kind)
-	}
-	e, err := registry.DeriveEngine(e, func(name string) []string { return q[name] })
-	if err != nil {
-		jsonErrorQuery(w, http.StatusBadRequest, kind, "%v", err)
-		return
-	}
 	p, err := d.ParseURLValues(q)
 	if err != nil {
 		jsonErrorQuery(w, http.StatusBadRequest, kind, "%v", err)
 		return
 	}
-	v, outcome, err := s.exec.Execute(d, e, p)
+	get := func(name string) []string { return q[name] }
+	var (
+		v       any
+		outcome qcache.Outcome
+	)
+	if s.sview != nil {
+		sv := s.sview.WithContext(r.Context())
+		if kind != "" {
+			sv = sv.WithKind(kind)
+		}
+		sv, err = registry.DeriveView(sv, get)
+		if err != nil {
+			jsonErrorQuery(w, http.StatusBadRequest, kind, "%v", err)
+			return
+		}
+		v, outcome, err = s.exec.ExecuteSharded(d, sv, p)
+	} else {
+		e := s.eng.WithContext(r.Context())
+		if kind != "" {
+			e = e.WithKind(kind)
+		}
+		e, err = registry.DeriveEngine(e, get)
+		if err != nil {
+			jsonErrorQuery(w, http.StatusBadRequest, kind, "%v", err)
+			return
+		}
+		v, outcome, err = s.exec.Execute(d, e, p)
+	}
 	if err != nil {
 		s.queryError(w, kind, err)
 		return

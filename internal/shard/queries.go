@@ -1,0 +1,744 @@
+package shard
+
+import (
+	"math/bits"
+	"sort"
+
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/matrix"
+	"gdeltmine/internal/parallel"
+	"gdeltmine/internal/qlang"
+	"gdeltmine/internal/queries"
+	"gdeltmine/internal/stats"
+)
+
+// The sharded executions below mirror the monolithic functions in
+// internal/queries operation for operation: mention scans fan out through
+// per-shard engines over the same typed kernels (so the per-shard window
+// clipping, predicate selection and merge trees are shared code), and the
+// partial results reduce through the local→global remaps. Integer
+// aggregates are exact sums, so they match the monolith bit for bit;
+// float derivations (Jaccard, fractions, fits) go through the same
+// exported finishers in queries, so they see identical integer inputs and
+// produce identical outputs up to the usual non-associativity-free 1e-9.
+// Window semantics follow the monolith precisely: mention-window kernels
+// honor the view window, event-table, postings and GKG scans ignore it.
+
+// maxDelay mirrors queries' unexported delay cap (one year plus a day).
+const maxDelay = gdelt.IntervalsPerYear + gdelt.IntervalsPerDay
+
+func (v *View) grain1() parallel.Options {
+	opt := v.opt()
+	opt.Grain = 1
+	return opt
+}
+
+func (v *View) quarterLabels() []string {
+	labels := make([]string, v.s.NumQuarters())
+	for q := range labels {
+		labels[q] = v.s.QuarterLabel(q)
+	}
+	return labels
+}
+
+// sumPerShard fans a per-shard kernel out over every shard and sums the
+// n-length partial counters. The loop over shards is sequential — each
+// kernel is internally parallel — which keeps the reduction order fixed
+// and the integer results deterministic.
+func (v *View) sumPerShard(n int, f func(i int, e *engine.Engine) []int64) []int64 {
+	out := make([]int64, n)
+	for i, e := range v.engines() {
+		for g, c := range f(i, e) {
+			out[g] += c
+		}
+	}
+	return out
+}
+
+// groupCountEvents is the global-event-table analogue of the engine's
+// GroupCountEventsCol: a parallel scan over the merged event table where
+// groupOf returns the counter for an event, or a negative/out-of-range
+// value to skip it. Event scans ignore the mention window, matching the
+// monolith.
+func (v *View) groupCountEvents(numGroups int, groupOf func(ev int) int) []int64 {
+	return parallel.MapReduce(v.s.events.Len(), v.opt(),
+		func() []int64 { return make([]int64, numGroups) },
+		func(acc []int64, lo, hi int) []int64 {
+			for ev := lo; ev < hi; ev++ {
+				if g := groupOf(ev); g >= 0 && g < numGroups {
+					acc[g]++
+				}
+			}
+			return acc
+		},
+		func(dst, src []int64) []int64 {
+			for i, c := range src {
+				dst[i] += c
+			}
+			return dst
+		},
+	)
+}
+
+// Dataset computes Table I over the sharded store.
+func (v *View) Dataset() queries.DatasetStats {
+	s := v.s
+	out := queries.DatasetStats{
+		Sources:          s.sources.Len(),
+		Events:           int64(s.events.Len()),
+		CaptureIntervals: int64(s.meta.Intervals),
+	}
+	for _, p := range s.parts {
+		out.Articles += int64(p.Mentions.Len())
+	}
+	var agg stats.IntSummary
+	for _, n := range s.events.NumArticles {
+		if n == 0 {
+			out.ZeroMentionEvents++
+			continue
+		}
+		agg.Add(int64(n))
+	}
+	if agg.N > 0 {
+		out.MinArticles = agg.Min
+		out.MaxArticles = agg.Max
+		out.WeightedAvg = agg.Mean()
+	}
+	return out
+}
+
+// TopEvents returns the k most-reported events (Table III) from the merged
+// global event table, with the same lower-row tie-break as the monolith
+// (the merge preserves ID order, which is the monolith's row order).
+func (v *View) TopEvents(k int) []queries.TopEvent {
+	ev := &v.s.events
+	idx := engine.TopK(ev.Len(), k, func(i int) int64 {
+		return int64(ev.NumArticles[i])
+	})
+	out := make([]queries.TopEvent, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, queries.TopEvent{
+			Mentions:  int64(ev.NumArticles[i]),
+			EventID:   ev.ID[i],
+			SourceURL: ev.SourceURL[i],
+		})
+	}
+	return out
+}
+
+// EventSizes computes the Figure 2 distribution over the global events.
+func (v *View) EventSizes(xmin int) queries.EventSizeDistribution {
+	ev := &v.s.events
+	var maxN int32
+	for _, n := range ev.NumArticles {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	counts := v.groupCountEvents(int(maxN)+1, func(i int) int { return int(ev.NumArticles[i]) })
+	out := queries.EventSizeDistribution{Counts: counts}
+	out.Fit, out.FitErr = stats.FitPowerLaw(counts, xmin)
+	return out
+}
+
+// TopPublishers ranks global sources by windowed article count: per-shard
+// typed group-counts remapped through l2gSrc and summed, then the same
+// top-k selection (global ids preserve the monolith order, so ties break
+// identically).
+func (v *View) TopPublishers(k int) (ids []int32, counts []int64) {
+	s := v.s
+	perSource := v.sumPerShard(s.sources.Len(), func(i int, e *engine.Engine) []int64 {
+		p := s.parts[i]
+		return e.GroupCountCol(s.sources.Len(), p.Mentions.Source, s.l2gSrc[i])
+	})
+	top := engine.TopK(len(perSource), k, func(i int) int64 { return perSource[i] })
+	for _, g := range top {
+		ids = append(ids, int32(g))
+		counts = append(counts, perSource[g])
+	}
+	return ids, counts
+}
+
+// ArticlesPerQuarter computes Figure 5 by summing per-shard quarter
+// group-counts (quarter ids are global — every shard shares the Meta).
+func (v *View) ArticlesPerQuarter() queries.QuarterlySeries {
+	s := v.s
+	nq := s.NumQuarters()
+	vals := v.sumPerShard(nq, func(i int, e *engine.Engine) []int64 {
+		p := s.parts[i]
+		return e.GroupCountCol(nq, p.Mentions.Interval, p.QuarterLUT())
+	})
+	return queries.QuarterlySeries{Labels: v.quarterLabels(), Values: vals}
+}
+
+// EventsPerQuarter computes Figure 4 over the merged global event table.
+func (v *View) EventsPerQuarter() queries.QuarterlySeries {
+	s := v.s
+	ev := &s.events
+	qlut := s.parts[0].QuarterLUT()
+	vals := v.groupCountEvents(s.NumQuarters(), func(i int) int {
+		if ev.NumArticles[i] <= 0 {
+			return -1
+		}
+		return int(qlut[ev.Interval[i]])
+	})
+	return queries.QuarterlySeries{Labels: v.quarterLabels(), Values: vals}
+}
+
+// ActiveSourcesPerQuarter computes Figure 3. A source's quarters of
+// activity are the union over shards, so shards fold into a global
+// source×quarter seen table first (shards run sequentially; within one
+// shard local sources map to distinct global rows, so the inner loop is
+// race-free) and the per-quarter distinct counts come off that table.
+func (v *View) ActiveSourcesPerQuarter() queries.QuarterlySeries {
+	s := v.s
+	nq := s.NumQuarters()
+	ns := s.sources.Len()
+	seen := make([]bool, ns*nq)
+	for i, p := range s.parts {
+		remap := s.l2gSrc[i]
+		parallel.ForOpt(p.Sources.Len(), v.opt(), func(lo, hi int) {
+			for ls := lo; ls < hi; ls++ {
+				rows := p.SourceMentions(int32(ls))
+				if len(rows) == 0 {
+					continue
+				}
+				base := int(remap[ls]) * nq
+				for _, r := range rows {
+					seen[base+p.QuarterOfInterval(p.Mentions.Interval[r])] = true
+				}
+			}
+		})
+	}
+	vals := make([]int64, nq)
+	for g := 0; g < ns; g++ {
+		for q := 0; q < nq; q++ {
+			if seen[g*nq+q] {
+				vals[q]++
+			}
+		}
+	}
+	return queries.QuarterlySeries{Labels: v.quarterLabels(), Values: vals}
+}
+
+// SlowArticlesPerQuarter computes Figure 11 via the per-shard typed
+// filter→aggregate kernel.
+func (v *View) SlowArticlesPerQuarter() queries.QuarterlySeries {
+	s := v.s
+	nq := s.NumQuarters()
+	vals := v.sumPerShard(nq, func(i int, e *engine.Engine) []int64 {
+		p := s.parts[i]
+		return e.GroupCountColSel(nq, p.Mentions.Interval, p.QuarterLUT(),
+			engine.PredGT(p.Mentions.Delay, gdelt.IntervalsPerDay))
+	})
+	return queries.QuarterlySeries{Labels: v.quarterLabels(), Values: vals}
+}
+
+// CountryQuery runs the aggregated country query (Tables V-VII). Pass 1
+// sums the per-shard typed cross-count matrices (country ids are global,
+// so no remap is needed in the reduce); pass 2 builds per-event country
+// bitmasks over global events, unioning each shard's slice of the event.
+// The masks accumulate shard by shard — each shard scans its own postings
+// in parallel over LOCAL events (distinct local events map to distinct
+// global rows, so the writes are race-free) — rather than probing every
+// shard's g2lEv per global event, which keeps pass 2's memory walk as
+// sequential as the monolith's.
+func (v *View) CountryQuery() (*queries.CountryReport, error) {
+	s := v.s
+	nc := len(gdelt.Countries)
+
+	cross := matrix.NewInt64(nc, nc)
+	for i, e := range v.engines() {
+		p := s.parts[i]
+		part := engine.CrossCountRemap(e, nc, nc,
+			p.Mentions.EventRow, p.Events.Country,
+			p.Mentions.Source, p.SourceCountry)
+		if err := cross.AddMatrix(part); err != nil {
+			return nil, err
+		}
+	}
+
+	masks := make([]uint64, s.events.Len())
+	for i, p := range s.parts {
+		remap := s.l2gEv[i]
+		parallel.ForOpt(p.Events.Len(), v.opt(), func(lo, hi int) {
+			for le := lo; le < hi; le++ {
+				rows := p.EventMentions(int32(le))
+				if len(rows) == 0 {
+					continue
+				}
+				var mask uint64
+				for _, row := range rows {
+					if c := p.SourceCountry[p.Mentions.Source[row]]; c >= 0 {
+						mask |= 1 << uint(c)
+					}
+				}
+				masks[remap[le]] |= mask
+			}
+		})
+	}
+
+	type partial struct {
+		pair   *matrix.Int64
+		counts []int64
+	}
+	res := parallel.MapReduce(s.events.Len(), v.opt(),
+		func() *partial {
+			return &partial{pair: matrix.NewInt64(nc, nc), counts: make([]int64, nc)}
+		},
+		func(acc *partial, lo, hi int) *partial {
+			for ev := lo; ev < hi; ev++ {
+				foldCountryMask(acc.pair, acc.counts, masks[ev])
+			}
+			return acc
+		},
+		func(dst, src *partial) *partial {
+			if err := dst.pair.AddMatrix(src.pair); err != nil {
+				panic(err)
+			}
+			for i, c := range src.counts {
+				dst.counts[i] += c
+			}
+			return dst
+		},
+	)
+
+	eventCounts := v.groupCountEvents(nc, func(ev int) int {
+		if s.events.NumArticles[ev] <= 0 {
+			return -1
+		}
+		return int(s.eventCountryLUT[ev])
+	})
+	return queries.FinishCountryReport(cross, res.pair, res.counts, eventCounts)
+}
+
+// foldCountryMask expands one event's reporting-country bitmask into the
+// singleton and pair counters — the same bit loops as the monolith.
+func foldCountryMask(pair *matrix.Int64, counts []int64, mask uint64) {
+	for m := mask; m != 0; {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << uint(i)
+		counts[i]++
+		for m2 := m; m2 != 0; {
+			j := bits.TrailingZeros64(m2)
+			m2 &^= 1 << uint(j)
+			pair.Inc(i, j)
+			pair.Inc(j, i)
+		}
+	}
+}
+
+// selection holds the per-shard execution plan for a global source
+// selection: local slot lookup tables (local source id → selection index,
+// -1 unselected) and the ascending list of candidate global events — the
+// events with at least one selected-source mention in some shard, found
+// from the shards' postings so unselected mentions of non-candidate
+// events are never scanned.
+type selection struct {
+	slots [][]int32
+	evs   []int32
+}
+
+func (v *View) selection(sources []int32) *selection {
+	s := v.s
+	slotG := make([]int32, s.sources.Len())
+	for i := range slotG {
+		slotG[i] = -1
+	}
+	for i, src := range sources {
+		slotG[src] = int32(i) // duplicates resolve to the last occurrence
+	}
+	sel := &selection{slots: make([][]int32, len(s.parts))}
+	cand := make([]bool, s.events.Len())
+	for i, p := range s.parts {
+		slots := make([]int32, p.Sources.Len())
+		for ls := range slots {
+			slots[ls] = slotG[s.l2gSrc[i][ls]]
+		}
+		sel.slots[i] = slots
+		for ls, sl := range slots {
+			if sl < 0 {
+				continue
+			}
+			for _, r := range p.SourceMentions(int32(ls)) {
+				cand[s.l2gEv[i][p.Mentions.EventRow[r]]] = true
+			}
+		}
+	}
+	for ev, ok := range cand {
+		if ok {
+			sel.evs = append(sel.evs, int32(ev))
+		}
+	}
+	return sel
+}
+
+// shardEventRows calls f with each shard's mention rows for global event
+// ev, in shard (= time) order. Within a shard rows ascend by interval and
+// shards tile time in order, so the concatenation replays the monolith's
+// event-mention ordering.
+func (s *DB) shardEventRows(ev int32, f func(i int, rows []int32)) {
+	for i, p := range s.parts {
+		if lr := s.g2lEv[i][ev]; lr >= 0 {
+			if rows := p.EventMentions(lr); len(rows) > 0 {
+				f(i, rows)
+			}
+		}
+	}
+}
+
+// CoReport computes co-reporting among the selected global sources
+// (postings-pruned over candidate events, like the monolith's fast path).
+func (v *View) CoReport(sources []int32) (*queries.CoReporting, error) {
+	s := v.s
+	n := len(sources)
+	sel := v.selection(sources)
+	type partial struct {
+		pair   *matrix.Int64
+		counts []int64
+	}
+	res := parallel.MapReduce(len(sel.evs), v.opt(),
+		func() *partial {
+			return &partial{pair: matrix.NewInt64(n, n), counts: make([]int64, n)}
+		},
+		func(acc *partial, lo, hi int) *partial {
+			present := make([]int32, 0, 16)
+			mark := make([]bool, n)
+			for _, ev := range sel.evs[lo:hi] {
+				present = present[:0]
+				s.shardEventRows(ev, func(i int, rows []int32) {
+					p := s.parts[i]
+					slots := sel.slots[i]
+					for _, row := range rows {
+						if sl := slots[p.Mentions.Source[row]]; sl >= 0 && !mark[sl] {
+							mark[sl] = true
+							present = append(present, sl)
+						}
+					}
+				})
+				for _, i := range present {
+					mark[i] = false
+					acc.counts[i]++
+				}
+				for a := 0; a < len(present); a++ {
+					for b := a + 1; b < len(present); b++ {
+						acc.pair.Inc(int(present[a]), int(present[b]))
+						acc.pair.Inc(int(present[b]), int(present[a]))
+					}
+				}
+			}
+			return acc
+		},
+		func(dst, src *partial) *partial {
+			if err := dst.pair.AddMatrix(src.pair); err != nil {
+				panic(err)
+			}
+			for i, c := range src.counts {
+				dst.counts[i] += c
+			}
+			return dst
+		},
+	)
+	return queries.FinishCoReporting(sources, v.sourceNames(sources), res.counts, res.pair)
+}
+
+// FollowReport computes follow-reporting among the selected global
+// sources. The per-event leader state (firstSeen/touched) persists across
+// the event's shard segments — one event's mentions may span several
+// shards, and the fold must see them as one ascending-interval stream.
+func (v *View) FollowReport(sources []int32) *queries.FollowReporting {
+	s := v.s
+	n := len(sources)
+	sel := v.selection(sources)
+	nm := parallel.MapReduce(len(sel.evs), v.opt(),
+		func() *matrix.Int64 { return matrix.NewInt64(n, n) },
+		func(acc *matrix.Int64, lo, hi int) *matrix.Int64 {
+			firstSeen := make([]int32, n)
+			for i := range firstSeen {
+				firstSeen[i] = -1
+			}
+			touched := make([]int32, 0, 16)
+			for _, ev := range sel.evs[lo:hi] {
+				s.shardEventRows(ev, func(i int, rows []int32) {
+					p := s.parts[i]
+					slots := sel.slots[i]
+					for _, row := range rows {
+						j := slots[p.Mentions.Source[row]]
+						if j < 0 {
+							continue
+						}
+						t := p.Mentions.Interval[row]
+						for _, l := range touched {
+							if firstSeen[l] < t {
+								acc.Inc(int(l), int(j))
+							}
+						}
+						if firstSeen[j] < 0 {
+							firstSeen[j] = t
+							touched = append(touched, j)
+						}
+					}
+				})
+				for _, l := range touched {
+					firstSeen[l] = -1
+				}
+				touched = touched[:0]
+			}
+			return acc
+		},
+		func(dst, src *matrix.Int64) *matrix.Int64 {
+			if err := dst.AddMatrix(src); err != nil {
+				panic(err)
+			}
+			return dst
+		},
+	)
+	articles := make([]int64, n)
+	for i, src := range sources {
+		articles[i] = v.sourceArticles(src)
+	}
+	return queries.FinishFollowReporting(sources, v.sourceNames(sources), articles, nm)
+}
+
+func (v *View) sourceNames(sources []int32) []string {
+	names := make([]string, 0, len(sources))
+	for _, src := range sources {
+		names = append(names, v.s.sources.Name(src))
+	}
+	return names
+}
+
+// sourceArticles sums a global source's postings lengths over the shards
+// holding it (full archive, window-insensitive like the monolith).
+func (v *View) sourceArticles(src int32) int64 {
+	var total int64
+	name := v.s.sources.Name(src)
+	for _, p := range v.s.parts {
+		if ls := p.Sources.Lookup(name); ls >= 0 {
+			total += int64(len(p.SourceMentions(ls)))
+		}
+	}
+	return total
+}
+
+// PublisherDelays computes Table VIII rows for the given global sources,
+// concatenating each source's per-shard delay streams (the monolith sorts
+// the stream anyway, so segment order is immaterial).
+func (v *View) PublisherDelays(sources []int32) []queries.SourceDelayStats {
+	s := v.s
+	out := make([]queries.SourceDelayStats, len(sources))
+	parallel.ForOpt(len(sources), v.opt(), func(lo, hi int) {
+		var buf []int64
+		for i := lo; i < hi; i++ {
+			src := sources[i]
+			name := s.sources.Name(src)
+			st := queries.SourceDelayStats{Source: src, Name: name}
+			buf = buf[:0]
+			var agg stats.IntSummary
+			for _, p := range s.parts {
+				ls := p.Sources.Lookup(name)
+				if ls < 0 {
+					continue
+				}
+				for _, r := range p.SourceMentions(ls) {
+					d := int64(p.Mentions.Delay[r])
+					agg.Add(d)
+					buf = append(buf, d)
+				}
+			}
+			st.Articles = int64(len(buf))
+			if len(buf) > 0 {
+				sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+				st.Min, st.Max, st.Average = agg.Min, agg.Max, agg.Mean()
+				st.Median = buf[(len(buf)-1)/2] // lower median
+			}
+			out[i] = st
+		}
+	})
+	return out
+}
+
+// QuarterlyDelays computes Figure 10; each quarter's exact value→count
+// table accumulates over every shard's slice of the quarter.
+func (v *View) QuarterlyDelays() queries.QuarterlyDelay {
+	s := v.s
+	nq := s.NumQuarters()
+	out := queries.QuarterlyDelay{
+		Labels:  v.quarterLabels(),
+		Average: make([]float64, nq),
+		Median:  make([]int64, nq),
+	}
+	parallel.ForOpt(nq, v.grain1(), func(qlo, qhi int) {
+		ct := stats.NewCountTable(maxDelay)
+		for q := qlo; q < qhi; q++ {
+			for i := range ct.Counts {
+				ct.Counts[i] = 0
+			}
+			ct.N = 0
+			for _, p := range s.parts {
+				lo, hi := p.QuarterMentionRange(q)
+				for r := lo; r < hi; r++ {
+					ct.Add(int64(p.Mentions.Delay[r]))
+				}
+			}
+			if ct.N > 0 {
+				out.Average[q] = ct.Mean()
+				out.Median[q] = ct.Median()
+			}
+		}
+	})
+	return out
+}
+
+// FastSpreadingEvents ranks global events by distinct early reporters.
+// Early sources are keyed by global id; the shard walk stops at the first
+// shard starting at or past the cutoff (later shards hold only later
+// mentions).
+func (v *View) FastSpreadingEvents(window int32, minSources, k int) []queries.Wildfire {
+	s := v.s
+	if window < 1 {
+		window = 1
+	}
+	candidates := parallel.MapReduce(s.events.Len(), v.opt(),
+		func() []queries.Wildfire { return nil },
+		func(acc []queries.Wildfire, lo, hi int) []queries.Wildfire {
+			seen := map[int32]bool{}
+			for ev := lo; ev < hi; ev++ {
+				total := 0
+				for i, p := range s.parts {
+					if lr := s.g2lEv[i][ev]; lr >= 0 {
+						total += len(p.EventMentions(lr))
+					}
+				}
+				if total < minSources {
+					continue
+				}
+				cutoff := s.events.Interval[ev] + window
+				clear(seen)
+				early := 0
+				for i, p := range s.parts {
+					if s.bounds[i] >= cutoff {
+						break // every remaining mention is past the window
+					}
+					lr := s.g2lEv[i][ev]
+					if lr < 0 {
+						continue
+					}
+					remap := s.l2gSrc[i]
+					for _, r := range p.EventMentions(lr) {
+						if p.Mentions.Interval[r] >= cutoff {
+							break // postings are interval-sorted
+						}
+						early++
+						seen[remap[p.Mentions.Source[r]]] = true
+					}
+				}
+				if len(seen) < minSources {
+					continue
+				}
+				acc = append(acc, queries.Wildfire{
+					EventRow:      int32(ev),
+					EventID:       s.events.ID[ev],
+					SourceURL:     s.events.SourceURL[ev],
+					EarlySources:  len(seen),
+					EarlyArticles: early,
+					TotalArticles: s.events.NumArticles[ev],
+					Velocity:      float64(len(seen)) / float64(window),
+				})
+			}
+			return acc
+		},
+		func(dst, src []queries.Wildfire) []queries.Wildfire { return append(dst, src...) },
+	)
+	sort.Slice(candidates, func(a, b int) bool {
+		if candidates[a].EarlySources != candidates[b].EarlySources {
+			return candidates[a].EarlySources > candidates[b].EarlySources
+		}
+		return candidates[a].EventID < candidates[b].EventID
+	})
+	if len(candidates) > k {
+		candidates = candidates[:k]
+	}
+	return candidates
+}
+
+// compileAll compiles a qlang expression against every shard. Compilation
+// outcomes are shard-independent — errors depend only on the expression
+// and the shared Meta, and a source literal missing from a shard's local
+// dictionary simply matches nothing there, exactly as it does against a
+// monolith that never saw the source.
+func (v *View) compileAll(expr string) ([]*qlang.Filter, error) {
+	fs := make([]*qlang.Filter, len(v.s.parts))
+	for i, p := range v.s.parts {
+		f, err := qlang.Compile(p, expr)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return fs, nil
+}
+
+// CountWhere counts windowed articles matching a qlang filter.
+func (v *View) CountWhere(expr string) (int64, error) {
+	fs, err := v.compileAll(expr)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for i, e := range v.engines() {
+		total += e.CountMentions(fs[i].Match)
+	}
+	return total, nil
+}
+
+// ArticlesPerQuarterWhere computes the filtered quarterly article series.
+func (v *View) ArticlesPerQuarterWhere(expr string) (queries.QuarterlySeries, error) {
+	s := v.s
+	fs, err := v.compileAll(expr)
+	if err != nil {
+		return queries.QuarterlySeries{}, err
+	}
+	nq := s.NumQuarters()
+	vals := v.sumPerShard(nq, func(i int, e *engine.Engine) []int64 {
+		p := s.parts[i]
+		f := fs[i]
+		return e.GroupCount(nq, func(row int) int {
+			if !f.Match(row) {
+				return -1
+			}
+			return p.QuarterOfInterval(p.Mentions.Interval[row])
+		})
+	})
+	return queries.QuarterlySeries{Labels: v.quarterLabels(), Values: vals}, nil
+}
+
+// TopPublishersWhere ranks global sources by filtered article count.
+func (v *View) TopPublishersWhere(expr string, k int) (ids []int32, counts []int64, err error) {
+	s := v.s
+	fs, err := v.compileAll(expr)
+	if err != nil {
+		return nil, nil, err
+	}
+	perSource := v.sumPerShard(s.sources.Len(), func(i int, e *engine.Engine) []int64 {
+		p := s.parts[i]
+		f := fs[i]
+		remap := s.l2gSrc[i]
+		return e.GroupCount(s.sources.Len(), func(row int) int {
+			if !f.Match(row) {
+				return -1
+			}
+			return int(remap[p.Mentions.Source[row]])
+		})
+	})
+	top := engine.TopK(len(perSource), k, func(i int) int64 { return perSource[i] })
+	for _, g := range top {
+		if perSource[g] == 0 {
+			break
+		}
+		ids = append(ids, int32(g))
+		counts = append(counts, perSource[g])
+	}
+	return ids, counts, nil
+}

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"context"
+
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/parallel"
+)
+
+// View is the sharded analogue of engine.Engine: an immutable execution
+// context (workers, cancellation, query kind, capture-interval window)
+// over a sharded DB. The With* methods return modified copies, so views
+// derived per request never race.
+type View struct {
+	s        *DB
+	workers  int
+	ctx      context.Context
+	kind     string
+	from, to int32
+	windowed bool
+}
+
+// View returns an execution context over the sharded DB with default
+// worker count, no window restriction, and background context.
+func (s *DB) View() *View {
+	return &View{s: s}
+}
+
+// WithWorkers returns a copy using n workers (0 means the default).
+func (v *View) WithWorkers(n int) *View {
+	w := *v
+	w.workers = n
+	return &w
+}
+
+// WithContext returns a copy carrying ctx for cancellation.
+func (v *View) WithContext(ctx context.Context) *View {
+	w := *v
+	w.ctx = ctx
+	return &w
+}
+
+// WithKind returns a copy labelled with the query kind (observability).
+func (v *View) WithKind(kind string) *View {
+	w := *v
+	w.kind = kind
+	return &w
+}
+
+// WithWindow returns a copy restricted to capture intervals [from, to).
+// Mirrors engine.WithInterval: from == to == 0 means an explicitly empty
+// window.
+func (v *View) WithWindow(from, to int32) *View {
+	w := *v
+	w.from, w.to = from, to
+	w.windowed = true
+	return &w
+}
+
+// DB returns the underlying sharded store.
+func (v *View) DB() *DB { return v.s }
+
+// Workers reports the configured worker count.
+func (v *View) Workers() int { return v.workers }
+
+// Kind reports the query-kind label.
+func (v *View) Kind() string { return v.kind }
+
+// Context returns the cancellation context (Background when unset).
+func (v *View) Context() context.Context {
+	if v.ctx == nil {
+		return context.Background()
+	}
+	return v.ctx
+}
+
+// Window reports the effective capture-interval window [from, to).
+func (v *View) Window() (from, to int32) {
+	if !v.windowed {
+		return 0, v.s.meta.Intervals
+	}
+	return v.from, v.to
+}
+
+// opt returns parallel options matching the view's configuration, for
+// reductions the view runs itself (over global events or sources).
+func (v *View) opt() parallel.Options {
+	return parallel.Options{Workers: v.workers, Context: v.ctx}
+}
+
+// engines returns one engine per shard, each carrying the view's workers,
+// context and kind, and — when the view is windowed — the window clipped
+// by each engine to its own mention rows. Every shard gets an engine even
+// if the window misses it entirely (its kernels then see no rows), which
+// keeps fan-out loops free of index bookkeeping.
+func (v *View) engines() []*engine.Engine {
+	es := make([]*engine.Engine, v.s.K())
+	for i, p := range v.s.parts {
+		e := engine.New(p).WithWorkers(v.workers).WithContext(v.ctx).WithKind(v.kind)
+		if v.windowed {
+			e = e.WithInterval(v.from, v.to)
+		}
+		es[i] = e
+	}
+	return es
+}

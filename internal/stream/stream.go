@@ -14,6 +14,7 @@ import (
 
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/obs"
+	"gdeltmine/internal/shard"
 	"gdeltmine/internal/stats"
 	"gdeltmine/internal/store"
 )
@@ -156,6 +157,12 @@ type Monitor struct {
 // snapshot version, which is the invalidation signal of the query result
 // cache. Pass nil to unbind.
 func (m *Monitor) BindStore(db *store.DB) { m.boundDB = db }
+
+// BindSharded ties the monitor to a sharded store. Stream appends always
+// land in the time-ordered tail shard, so only the tail's version is
+// bumped: cache entries whose window touches the tail go stale while
+// results over cold shards stay warm (see shard.DB.StaleKey).
+func (m *Monitor) BindSharded(s *shard.DB) { m.BindStore(s.Tail()) }
 
 // NewMonitor returns a monitor for a feed starting at the given timestamp.
 func NewMonitor(start gdelt.Timestamp, cfg Config) *Monitor {
