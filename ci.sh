@@ -50,3 +50,18 @@ go run ./cmd/gdeltbench -kernel-bench -kernel-workers 4 \
 # row exists so fan-out overhead trends are visible in results/.
 go run ./cmd/gdeltbench -preset standard -shard-bench -shard-k 4 \
   -shard-json results/shard_bench.json -shard-max-ratio 1.15
+
+# Router chaos smoke, under the race detector: a real 4-replica 2-group
+# fleet behind the scatter/gather router, with deterministic replica faults
+# (internal/faults.ReplicaChaos). Kill one replica per group and every
+# query kind must still answer bit-identical to the monolith with full
+# coverage; kill a whole group and every kind must degrade to an explicit
+# partial-coverage 200 (never a 5xx), with the partial result kept out of
+# the full-coverage cache entry. Hedging, per-try timeouts, breakers and
+# per-tenant admission run under the same -race battery.
+go test -race ./internal/router -run 'TestChaos' -count=1
+
+# Router overhead row (informational): warm-cache latency of a query served
+# direct by a replica vs through the router (one extra hop + affinity
+# hashing + coverage accounting). Artifact lands in results/router_bench.json.
+go run ./cmd/gdeltbench -router-bench -router-json results/router_bench.json

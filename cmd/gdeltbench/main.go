@@ -63,6 +63,9 @@ func main() {
 		shardJSON     = flag.String("shard-json", "", "write shard benchmark results as JSON to this file")
 		shardMaxRatio = flag.Float64("shard-max-ratio", 1.15, "warn when the sharded run exceeds this multiple of the monolith (informational; 0 disables)")
 
+		routerBench = flag.Bool("router-bench", false, "run the routed-vs-direct serving benchmark instead of the paper artifacts")
+		routerJSON  = flag.String("router-json", "", "write router benchmark results as JSON to this file")
+
 		kernelBench   = flag.Bool("kernel-bench", false, "run the scan-kernel micro-benchmark (closure vs typed vs pruned) instead of the paper artifacts")
 		kernelJSON    = flag.String("kernel-json", "", "write kernel benchmark results as JSON to this file")
 		kernelWorkers = flag.Int("kernel-workers", 4, "worker count for the kernel benchmark")
@@ -169,6 +172,12 @@ func main() {
 	}
 	if *shardBench {
 		if err := runShardBench(h.ds, *shardK, *shardJSON, *shardMaxRatio); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *routerBench {
+		if err := runRouterBench(h.ds, *routerJSON); err != nil {
 			log.Fatal(err)
 		}
 		return

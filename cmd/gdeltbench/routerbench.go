@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"gdeltmine"
+	"gdeltmine/internal/router"
+	"gdeltmine/internal/serve"
+	"gdeltmine/internal/shard"
+)
+
+// routerBenchResult is the routed-vs-direct measurement written to
+// -router-json: warm-cache latency of a query served straight by a replica
+// versus the same query through the scatter/gather router (one extra HTTP
+// hop plus affinity hashing and coverage accounting). Informational — the
+// router buys failover, not speed; this pins what that costs.
+type routerBenchResult struct {
+	Requests      int     `json:"requests"`
+	DirectSeconds float64 `json:"direct_seconds"`
+	RoutedSeconds float64 `json:"routed_seconds"`
+	OverheadRatio float64 `json:"overhead_ratio"`
+}
+
+// runRouterBench stands up a 2-replica, 1-group fleet over the dataset and
+// times min-of-rounds warm-cache latency of the country query direct versus
+// routed.
+func runRouterBench(ds *gdeltmine.Dataset, jsonPath string) error {
+	const requests = 50
+	db := ds.Engine().DB()
+	sdb, err := shard.Split(db, 2)
+	if err != nil {
+		return fmt.Errorf("router-bench: %w", err)
+	}
+	var replicas []router.Replica
+	for i := 0; i < 2; i++ {
+		srv := httptest.NewServer(serve.NewSharded(sdb, serve.Config{}))
+		defer srv.Close()
+		replicas = append(replicas, router.Replica{ID: fmt.Sprintf("r%d", i), URL: srv.URL})
+	}
+	rt, err := router.New(router.Config{Replicas: replicas, Shards: 2})
+	if err != nil {
+		return fmt.Errorf("router-bench: %w", err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	const path = "/api/v1/country"
+	fetch := func(base string) (time.Duration, error) {
+		start := time.Now()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm both paths so the replica-side result cache is hot and the
+	// measurement isolates routing overhead, not query compute.
+	if _, err := fetch(replicas[0].URL); err != nil {
+		return fmt.Errorf("router-bench: direct warmup: %w", err)
+	}
+	if _, err := fetch(front.URL); err != nil {
+		return fmt.Errorf("router-bench: routed warmup: %w", err)
+	}
+
+	direct := time.Duration(1<<62 - 1)
+	routed := direct
+	for i := 0; i < requests; i++ {
+		d, err := fetch(replicas[0].URL)
+		if err != nil {
+			return fmt.Errorf("router-bench: direct: %w", err)
+		}
+		if d < direct {
+			direct = d
+		}
+		r, err := fetch(front.URL)
+		if err != nil {
+			return fmt.Errorf("router-bench: routed: %w", err)
+		}
+		if r < routed {
+			routed = r
+		}
+	}
+
+	res := routerBenchResult{
+		Requests:      requests,
+		DirectSeconds: direct.Seconds(),
+		RoutedSeconds: routed.Seconds(),
+		OverheadRatio: routed.Seconds() / direct.Seconds(),
+	}
+	fmt.Printf("router-bench country  direct %8.4fms  routed %8.4fms  overhead %.2fx\n",
+		res.DirectSeconds*1e3, res.RoutedSeconds*1e3, res.OverheadRatio)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -122,8 +122,14 @@ func (in *Injector) FaultFor(path string) Fault {
 
 // unit returns a deterministic uniform draw in [0, 1) for (path, label).
 func (in *Injector) unit(path, label string) float64 {
+	return unitDraw(in.cfg.Seed, label, path)
+}
+
+// unitDraw is the shared deterministic uniform draw for (seed, label, key):
+// a pure function, so fault assignment never depends on evaluation order.
+func unitDraw(seed int64, label, key string) float64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s", in.cfg.Seed, label, path)
+	fmt.Fprintf(h, "%d|%s|%s", seed, label, key)
 	return rand.New(rand.NewSource(int64(h.Sum64()))).Float64()
 }
 

@@ -1,0 +1,200 @@
+package faults
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ReplicaFault enumerates the injectable replica-level failures of the
+// serving tier — the process- and network-level counterpart of the chunk
+// delivery faults above. The routing tier (internal/router) is tested
+// against these: a Dead replica trips circuit breakers, a Slow replica
+// triggers hedged retries, a Partitioned replica burns the per-try timeout.
+type ReplicaFault int
+
+const (
+	// ReplicaHealthy serves requests untouched.
+	ReplicaHealthy ReplicaFault = iota
+	// ReplicaDead closes the connection without answering — the observable
+	// behavior of a crashed or OOM-killed process behind a listener that
+	// the kernel already tore down.
+	ReplicaDead
+	// ReplicaSlow delays every response by the configured SlowDelay — a
+	// replica on an overloaded box or behind a congested link.
+	ReplicaSlow
+	// ReplicaPartitioned never answers: the request hangs until the client
+	// gives up — a network partition or a blackholed route.
+	ReplicaPartitioned
+)
+
+var replicaFaultNames = map[ReplicaFault]string{
+	ReplicaHealthy: "healthy", ReplicaDead: "dead",
+	ReplicaSlow: "slow", ReplicaPartitioned: "partitioned",
+}
+
+func (f ReplicaFault) String() string {
+	if s, ok := replicaFaultNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("ReplicaFault(%d)", int(f))
+}
+
+// ReplicaPlan assigns faults to replica IDs, with the same determinism
+// contract as Config: explicit Plan entries win, IDs without one draw from
+// the probability fields via a hash of (Seed, id) — stable across runs and
+// independent of evaluation order or goroutine interleaving.
+type ReplicaPlan struct {
+	// Seed drives every pseudo-random choice. Zero is a valid seed.
+	Seed int64
+	// Plan pins specific replica IDs to specific faults.
+	Plan map[string]ReplicaFault
+	// DeadProb, SlowProb and PartitionProb are per-replica probabilities in
+	// [0, 1], examined in that order against one uniform draw.
+	DeadProb, SlowProb, PartitionProb float64
+	// SlowDelay is the per-response delay of a Slow replica. Zero means
+	// 50ms.
+	SlowDelay time.Duration
+	// PartitionMax bounds how long a Partitioned replica hangs when the
+	// client never disconnects. Zero means 30s.
+	PartitionMax time.Duration
+}
+
+// ReplicaChaos injects replica faults into HTTP handlers. The initial
+// assignment comes from the deterministic plan; scripted scenarios mutate
+// it at runtime with Set (kill this replica now, heal it later). All
+// methods are safe for concurrent use.
+type ReplicaChaos struct {
+	plan ReplicaPlan
+
+	mu        sync.Mutex
+	overrides map[string]ReplicaFault
+	hits      map[ReplicaFault]int
+}
+
+// NewReplicaChaos returns a chaos controller over the plan.
+func NewReplicaChaos(plan ReplicaPlan) *ReplicaChaos {
+	if plan.SlowDelay == 0 {
+		plan.SlowDelay = 50 * time.Millisecond
+	}
+	if plan.PartitionMax == 0 {
+		plan.PartitionMax = 30 * time.Second
+	}
+	return &ReplicaChaos{
+		plan:      plan,
+		overrides: make(map[string]ReplicaFault),
+		hits:      make(map[ReplicaFault]int),
+	}
+}
+
+// FaultFor returns the fault currently assigned to a replica ID: a runtime
+// override if one was Set, otherwise the plan's deterministic assignment.
+func (c *ReplicaChaos) FaultFor(id string) ReplicaFault {
+	c.mu.Lock()
+	f, ok := c.overrides[id]
+	c.mu.Unlock()
+	if ok {
+		return f
+	}
+	return c.plan.assigned(id)
+}
+
+// assigned is the pure plan assignment: config and ID only.
+func (p ReplicaPlan) assigned(id string) ReplicaFault {
+	if f, ok := p.Plan[id]; ok {
+		return f
+	}
+	u := unitDraw(p.Seed, "replica", id)
+	for _, cand := range []struct {
+		prob float64
+		f    ReplicaFault
+	}{
+		{p.DeadProb, ReplicaDead},
+		{p.SlowProb, ReplicaSlow},
+		{p.PartitionProb, ReplicaPartitioned},
+	} {
+		if u < cand.prob {
+			return cand.f
+		}
+		u -= cand.prob
+	}
+	return ReplicaHealthy
+}
+
+// Set pins a replica to a fault at runtime, overriding the plan — the
+// scripting hook chaos scenarios use ("now kill r2, then heal it").
+func (c *ReplicaChaos) Set(id string, f ReplicaFault) {
+	c.mu.Lock()
+	c.overrides[id] = f
+	c.mu.Unlock()
+}
+
+// Heal removes a runtime override, returning the replica to its plan
+// assignment.
+func (c *ReplicaChaos) Heal(id string) {
+	c.mu.Lock()
+	delete(c.overrides, id)
+	c.mu.Unlock()
+}
+
+// Stats returns how many requests each fault class intercepted so far.
+func (c *ReplicaChaos) Stats() map[ReplicaFault]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[ReplicaFault]int, len(c.hits))
+	for f, n := range c.hits {
+		out[f] = n
+	}
+	return out
+}
+
+func (c *ReplicaChaos) record(f ReplicaFault) {
+	c.mu.Lock()
+	c.hits[f]++
+	c.mu.Unlock()
+}
+
+// Middleware wraps a replica's handler with its fault behavior. The
+// returned handler consults the current assignment per request, so Set and
+// Heal take effect immediately.
+func (c *ReplicaChaos) Middleware(id string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch f := c.FaultFor(id); f {
+		case ReplicaDead:
+			c.record(f)
+			killConn(w)
+			return
+		case ReplicaSlow:
+			c.record(f)
+			select {
+			case <-time.After(c.plan.SlowDelay):
+			case <-r.Context().Done():
+				killConn(w)
+				return
+			}
+		case ReplicaPartitioned:
+			c.record(f)
+			select {
+			case <-time.After(c.plan.PartitionMax):
+			case <-r.Context().Done():
+			}
+			killConn(w)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// killConn makes the failure look like a dead process: hijack the
+// connection and close it mid-air so the client sees EOF, falling back to
+// an empty 502 on transports that cannot hijack (HTTP/2).
+func killConn(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	w.WriteHeader(http.StatusBadGateway)
+}

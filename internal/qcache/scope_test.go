@@ -1,0 +1,48 @@
+package qcache
+
+import (
+	"context"
+	"testing"
+)
+
+// TestScopeSeparatesPartialFromFull is the cache-pollution guard for
+// degraded serving: a result computed over a restricted shard subset
+// (Key.Scope non-empty) must never be served for — or overwrite — the
+// full-coverage entry with otherwise identical key fields.
+func TestScopeSeparatesPartialFromFull(t *testing.T) {
+	c := New(0)
+	full := Key{Kind: "count", Params: "", Window: "0:100", Version: 1}
+	partial := full
+	partial.Scope = "shards=0,1"
+
+	if full.String() == partial.String() {
+		t.Fatalf("scoped and unscoped keys collide: %q", full.String())
+	}
+
+	v, out, err := c.Do(context.Background(), partial, func() (any, error) { return "partial-result", nil })
+	if err != nil || v != "partial-result" || out != Miss {
+		t.Fatalf("partial compute: %v %v %v", v, out, err)
+	}
+	// The full-coverage request must not hit the partial entry.
+	v, out, err = c.Do(context.Background(), full, func() (any, error) { return "full-result", nil })
+	if err != nil || v != "full-result" || out != Miss {
+		t.Fatalf("full compute after partial: %v %v %v — partial served as full?", v, out, err)
+	}
+	// And both are now independently cached.
+	mustHit := func() (any, error) { t.Fatal("recomputed on an expected hit"); return nil, nil }
+	if v, out, _ := c.Do(context.Background(), full, mustHit); out != Hit || v != "full-result" {
+		t.Fatalf("full re-read: %v %v", v, out)
+	}
+	if v, out, _ := c.Do(context.Background(), partial, mustHit); out != Hit || v != "partial-result" {
+		t.Fatalf("partial re-read: %v %v", v, out)
+	}
+}
+
+// TestScopeStringRoundTrip pins the scoped key encoding so cache debugging
+// output stays readable.
+func TestScopeStringRoundTrip(t *testing.T) {
+	k := Key{Kind: "count", Params: "k=5", Window: "0:10", Version: 2, Scope: "shards=0,1"}
+	if got, want := k.String(), "count?k=5@0:10#v2!shards=0,1"; got != want {
+		t.Fatalf("scoped key %q, want %q", got, want)
+	}
+}

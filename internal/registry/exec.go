@@ -55,7 +55,10 @@ func (x *Executor) Execute(d *Descriptor, e *engine.Engine, p Params) (any, qcac
 // embeds the per-shard version vector of the overlapping shards (see
 // shard.DB.WindowVersionKey) and Version is the max over them, so a
 // tail-shard append invalidates exactly the entries whose windows touch
-// the tail while cold-shard entries stay warm.
+// the tail while cold-shard entries stay warm. A view restricted to a
+// shard subset (degraded serving) additionally carries its subset as the
+// key's Scope, so a partial result is never stored under — or served for —
+// the full-coverage key.
 func (x *Executor) ExecuteSharded(d *Descriptor, v *shard.View, p Params) (any, qcache.Outcome, error) {
 	if d.RunSharded == nil {
 		return nil, qcache.Bypass, fmt.Errorf("registry: kind %q has no sharded execution", d.Kind)
@@ -80,6 +83,7 @@ func (x *Executor) ExecuteSharded(d *Descriptor, v *shard.View, p Params) (any, 
 		Params:  d.Canonical(p),
 		Window:  v.DB().WindowVersionKey(from, to),
 		Version: v.DB().VersionMax(from, to),
+		Scope:   v.ShardScope(),
 	}
 	return x.Cache.Do(v.Context(), key, compute)
 }

@@ -1,0 +1,56 @@
+package registry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseShards(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want []int
+	}{
+		{"0", []int{0}},
+		{"0,2", []int{0, 2}},
+		{"3,1", []int{1, 3}},  // sorted
+		{"2,2,2", []int{2}},   // deduped
+		{"1, 3", []int{1, 3}}, // tolerant of spaces
+		{"0,1,2,3", []int{0, 1, 2, 3}},
+	}
+	for _, c := range cases {
+		got, err := ParseShards(4, c.raw)
+		if err != nil {
+			t.Fatalf("ParseShards(4, %q): %v", c.raw, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("ParseShards(4, %q) = %v, want %v", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestParseShardsRejectsBadInput(t *testing.T) {
+	for _, raw := range []string{"", "x", "-1", "4", "0,,1", "1.5", "0,4"} {
+		_, err := ParseShards(4, raw)
+		if err == nil {
+			t.Fatalf("ParseShards(4, %q) accepted", raw)
+		}
+		if !IsBadParam(err) {
+			t.Fatalf("ParseShards(4, %q): %v is not a bad-param error", raw, err)
+		}
+	}
+}
+
+// TestDeriveEngineRejectsShards keeps the restriction honest: against a
+// monolithic dataset there are no shards to subset, so the parameter is a
+// client error, not a silent no-op.
+func TestDeriveEngineRejectsShards(t *testing.T) {
+	get := func(name string) []string {
+		if name == ParamShards {
+			return []string{"0"}
+		}
+		return nil
+	}
+	if _, err := DeriveEngine(nil, get); err == nil || !IsBadParam(err) {
+		t.Fatalf("DeriveEngine with shards param: err = %v, want bad-param", err)
+	}
+}

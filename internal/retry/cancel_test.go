@@ -1,0 +1,90 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDoCancelDuringDefaultBackoff cancels the context while Do is waiting
+// out a long backoff; Do must return ctx.Err() immediately instead of
+// sleeping the delay to completion.
+func TestDoCancelDuringDefaultBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Hour}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.Do(ctx, func() error { return Transientf("still failing") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Do slept %v through cancellation", elapsed)
+	}
+}
+
+// TestDoCancelOverridesContextBlindSleep installs a custom Sleep that
+// ignores its context entirely — the failure mode this regression test
+// exists for. Do must still honor cancellation, racing every backoff wait
+// against ctx.Done() instead of trusting the Sleep implementation.
+func TestDoCancelOverridesContextBlindSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	block := make(chan struct{})
+	p := Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		Sleep: func(context.Context, time.Duration) error {
+			<-block // never returns until the test releases it
+			return nil
+		},
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.Do(ctx, func() error { return Transientf("still failing") })
+	close(block)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Do blocked %v in a context-blind Sleep", elapsed)
+	}
+}
+
+// TestDoPreCancelledContext never invokes op when the context is already
+// dead on entry.
+func TestDoPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := DefaultPolicy().Do(ctx, func() error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("op ran despite pre-cancelled context")
+	}
+}
+
+// TestDoCustomSleepErrorPropagates keeps the custom Sleep contract: a Sleep
+// that reports its own error (e.g. its context died) aborts the retry loop.
+func TestDoCustomSleepErrorPropagates(t *testing.T) {
+	sentinel := errors.New("sleep aborted")
+	p := Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		Sleep:       func(context.Context, time.Duration) error { return sentinel },
+	}
+	err := p.Do(context.Background(), func() error { return Transientf("still failing") })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the Sleep's own error", err)
+	}
+}

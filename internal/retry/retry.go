@@ -76,8 +76,10 @@ type Policy struct {
 	// schedule parameters alone, which is still deterministic.
 	Seed int64
 	// Sleep replaces time.Sleep, letting tests run schedules instantly.
-	// It must honor the context: the default waits on a timer and the
-	// context's done channel.
+	// The default waits on a timer and the context's done channel; a custom
+	// Sleep should do the same, but Do no longer depends on it — every
+	// backoff wait is raced against ctx.Done(), so cancellation always
+	// returns early instead of sleeping out the full backoff.
 	Sleep func(ctx context.Context, d time.Duration) error
 }
 
@@ -151,6 +153,28 @@ func defaultSleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// cancellableSleep races sleep against ctx.Done() so a backoff wait ends
+// the moment the caller's budget is gone, even when a custom Sleep ignores
+// the context (e.g. a bare time.Sleep). The sleeping goroutine is left to
+// finish on its own — it holds no resources and its lifetime is bounded by
+// the backoff delay itself.
+func cancellableSleep(ctx context.Context, sleep func(ctx context.Context, d time.Duration) error, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- sleep(ctx, d) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return err
+		}
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Do runs op until it succeeds, fails permanently, or the budget runs out.
 // Only errors marked Transient are retried; anything else is returned
 // as-is on first sight. When the attempt budget is exhausted the last
@@ -179,7 +203,7 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 		if a == attempts-1 {
 			break
 		}
-		if err := sleep(ctx, p.delay(a+1, rng)); err != nil {
+		if err := cancellableSleep(ctx, sleep, p.delay(a+1, rng)); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,157 @@
+package router
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"gdeltmine/internal/obs"
+)
+
+// AdmissionConfig tunes per-tenant admission control. Tenants are named by
+// the X-Tenant request header; requests without one share the "anonymous"
+// tenant, so one chatty anonymous client cannot starve named tenants. The
+// zero value disables admission entirely.
+type AdmissionConfig struct {
+	// RatePerSec is the sustained request rate each tenant may hold; a
+	// token bucket of Burst capacity absorbs spikes. Zero disables rate
+	// limiting.
+	RatePerSec float64
+	// Burst is the token bucket capacity. Zero means max(1, RatePerSec).
+	Burst int
+	// MaxConcurrent caps a tenant's in-flight queries; excess requests are
+	// shed with 503 rather than queued. Zero disables the cap.
+	MaxConcurrent int
+}
+
+// defaultTenant buckets requests that carry no X-Tenant header.
+const defaultTenant = "anonymous"
+
+// maxTenantStates bounds the tenant table; beyond it, idle tenants are
+// swept so a tenant-ID-per-request abuser cannot grow memory unboundedly.
+const maxTenantStates = 4096
+
+// tenantState is one tenant's token bucket and concurrency ledger.
+type tenantState struct {
+	tokens   float64
+	last     time.Time // last refill instant
+	inFlight int
+}
+
+// admission implements per-tenant token-bucket rate limiting plus
+// concurrent-query caps. All methods are safe for concurrent use.
+type admission struct {
+	cfg AdmissionConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
+	shedRate *obs.Counter
+	shedConc *obs.Counter
+}
+
+func newAdmission(cfg AdmissionConfig, now func() time.Time) *admission {
+	if now == nil {
+		now = time.Now
+	}
+	if cfg.RatePerSec > 0 && cfg.Burst <= 0 {
+		cfg.Burst = int(cfg.RatePerSec)
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	return &admission{
+		cfg:     cfg,
+		now:     now,
+		tenants: make(map[string]*tenantState),
+		shedRate: obs.Default.Counter("router_shed_total",
+			"requests refused by admission control", obs.L("reason", "rate")),
+		shedConc: obs.Default.Counter("router_shed_total",
+			"requests refused by admission control", obs.L("reason", "concurrency")),
+	}
+}
+
+// Admit decides whether a tenant's request may proceed. On admission it
+// returns a non-nil release func the caller must invoke when the request
+// finishes; on refusal it returns the HTTP status (429 for rate, 503 for
+// concurrency) and a human-readable reason for the error envelope.
+func (a *admission) Admit(tenant string) (release func(), status int, reason string) {
+	if a.cfg.RatePerSec == 0 && a.cfg.MaxConcurrent == 0 {
+		return func() {}, 0, ""
+	}
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.tenants[tenant]
+	if st == nil {
+		if len(a.tenants) >= maxTenantStates {
+			a.sweepLocked()
+		}
+		st = &tenantState{tokens: float64(a.cfg.Burst), last: a.now()}
+		a.tenants[tenant] = st
+	}
+	// Concurrency first: an over-cap tenant should not also burn a token.
+	if a.cfg.MaxConcurrent > 0 && st.inFlight >= a.cfg.MaxConcurrent {
+		a.shedConc.Inc()
+		return nil, http.StatusServiceUnavailable,
+			"tenant concurrency cap reached: " + itoa(a.cfg.MaxConcurrent) + " queries in flight"
+	}
+	if a.cfg.RatePerSec > 0 {
+		now := a.now()
+		st.tokens += now.Sub(st.last).Seconds() * a.cfg.RatePerSec
+		st.last = now
+		if st.tokens > float64(a.cfg.Burst) {
+			st.tokens = float64(a.cfg.Burst)
+		}
+		if st.tokens < 1 {
+			a.shedRate.Inc()
+			return nil, http.StatusTooManyRequests, "tenant rate limit exceeded"
+		}
+		st.tokens--
+	}
+	st.inFlight++
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			st.inFlight--
+			a.mu.Unlock()
+		})
+	}, 0, ""
+}
+
+// sweepLocked evicts idle, fully-refilled tenants — pure bookkeeping
+// entries whose state is indistinguishable from a fresh one.
+func (a *admission) sweepLocked() {
+	cutoff := a.now().Add(-time.Minute)
+	for id, st := range a.tenants {
+		if st.inFlight == 0 && st.last.Before(cutoff) {
+			delete(a.tenants, id)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,93 @@
+package router
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestAdmissionDisabledByZeroConfig(t *testing.T) {
+	a := newAdmission(AdmissionConfig{}, nil)
+	for i := 0; i < 100; i++ {
+		release, status, _ := a.Admit("tenant")
+		if release == nil {
+			t.Fatalf("request %d refused with status %d under zero config", i, status)
+		}
+		release()
+	}
+}
+
+func TestAdmissionRateLimitAndRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := newAdmission(AdmissionConfig{RatePerSec: 1, Burst: 2}, clk.now)
+	for i := 0; i < 2; i++ {
+		release, _, _ := a.Admit("t1")
+		if release == nil {
+			t.Fatalf("burst request %d refused", i)
+		}
+		release()
+	}
+	if release, status, _ := a.Admit("t1"); release != nil || status != http.StatusTooManyRequests {
+		t.Fatalf("over-rate request: release=%v status=%d, want nil/429", release != nil, status)
+	}
+	// Other tenants have their own buckets.
+	if release, _, _ := a.Admit("t2"); release == nil {
+		t.Fatal("separate tenant refused by t1's exhausted bucket")
+	}
+	// One second refills one token.
+	clk.advance(time.Second)
+	if release, _, _ := a.Admit("t1"); release == nil {
+		t.Fatal("refilled bucket still refusing")
+	}
+}
+
+func TestAdmissionConcurrencyCap(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 2}, nil)
+	r1, _, _ := a.Admit("t")
+	r2, _, _ := a.Admit("t")
+	if r1 == nil || r2 == nil {
+		t.Fatal("requests under the cap refused")
+	}
+	if release, status, _ := a.Admit("t"); release != nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap request: release=%v status=%d, want nil/503", release != nil, status)
+	}
+	r1()
+	r1() // double release must not free a second slot
+	if release, _, _ := a.Admit("t"); release == nil {
+		t.Fatal("slot not freed after release")
+	}
+	if release, _, _ := a.Admit("t"); release != nil {
+		t.Fatal("double release freed two slots")
+	}
+	r2()
+}
+
+func TestAdmissionDefaultTenant(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1}, nil)
+	release, _, _ := a.Admit("")
+	if release == nil {
+		t.Fatal("first anonymous request refused")
+	}
+	if r2, status, _ := a.Admit(""); r2 != nil || status != http.StatusServiceUnavailable {
+		t.Fatal("anonymous requests should share one tenant bucket")
+	}
+	release()
+}
+
+func TestAdmissionSweepBoundsTenantTable(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	a := newAdmission(AdmissionConfig{RatePerSec: 100}, clk.now)
+	for i := 0; i < maxTenantStates; i++ {
+		release, _, _ := a.Admit("tenant-" + itoa(i))
+		if release != nil {
+			release()
+		}
+	}
+	clk.advance(2 * time.Minute)
+	if release, _, _ := a.Admit("fresh"); release == nil {
+		t.Fatal("fresh tenant refused")
+	}
+	if n := len(a.tenants); n > 2 {
+		t.Fatalf("idle tenants not swept: %d entries", n)
+	}
+}

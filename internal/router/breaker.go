@@ -1,0 +1,149 @@
+package router
+
+import (
+	"sync"
+	"time"
+
+	"gdeltmine/internal/obs"
+)
+
+// breaker is a per-replica circuit breaker with the classic three-state
+// machine:
+//
+//	closed ──(threshold consecutive failures)──> open
+//	open ──(cooldown elapsed)──> half-open
+//	half-open ──(probe succeeds)──> closed
+//	half-open ──(probe fails)──> open (cooldown restarts)
+//
+// Failures are replica failures only — transport errors, per-try timeouts
+// and upstream 5xx. Client-shaped responses (2xx–4xx) count as successes:
+// a replica faithfully returning 400s is healthy. Both live traffic and
+// the background /readyz prober feed the same breaker, so an idle router
+// still notices a replica dying, and a recovered replica is closed again
+// by the next probe without waiting for a user request to gamble on it.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+type breaker struct {
+	threshold int           // consecutive failures that trip the breaker
+	cooldown  time.Duration // open -> half-open delay
+	now       func() time.Time
+	trips     *obs.Counter
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe request is in flight
+}
+
+func newBreaker(replicaID string, threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold < 1 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       now,
+		trips: obs.Default.Counter("router_breaker_trips_total",
+			"circuit breaker trips per replica", obs.L("replica", replicaID)),
+	}
+}
+
+// Allow reports whether a request may be sent to the replica, consuming
+// the single half-open probe slot when the cooldown has elapsed.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// canTry is the side-effect-free preview of Allow, used when computing
+// coverage and candidate orders without consuming the half-open slot.
+func (b *breaker) canTry() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cooldown
+	default:
+		return true
+	}
+}
+
+// Success records a healthy interaction and closes the breaker.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a replica failure, tripping the breaker at the
+// threshold and re-opening a failed half-open probe.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips.Inc()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.trips.Inc()
+		}
+	}
+}
+
+// State names the current state for /routez and tests.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

@@ -1,0 +1,79 @@
+package router
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker("r0", 3, time.Second, clk.now)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	if b.State() != "open" {
+		t.Fatalf("state %q, want open", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := newBreaker("r0", 2, time.Second, nil)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker("r0", 1, time.Second, clk.now)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker should be open")
+	}
+	if b.canTry() {
+		t.Fatal("canTry should mirror open state before cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.canTry() {
+		t.Fatal("canTry should allow after cooldown")
+	}
+	// First Allow consumes the single half-open probe slot.
+	if !b.Allow() {
+		t.Fatal("half-open probe refused")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent half-open probe allowed")
+	}
+	// Probe failure reopens and restarts the cooldown.
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("state %q after failed probe, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker reusable immediately after failed probe")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after second cooldown")
+	}
+	b.Success()
+	if b.State() != "closed" || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}

@@ -1,0 +1,133 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Placement maps shard groups onto replicas with a consistent hash ring:
+// every replica contributes VNodes virtual points; a group's key hashes to
+// a ring position and its replica set is the next R distinct replicas
+// clockwise. Adding or removing one replica therefore moves only the
+// groups whose arcs it owned — the property that lets a fleet grow without
+// a full reshuffle. The same ring also yields the per-query preference
+// order (affinity routing): identical queries hash to the same primary
+// replica, concentrating result-cache hits instead of spraying them.
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by a
+// replica index.
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// ring is an immutable consistent hash ring over replica indices.
+type ring struct {
+	points []ringPoint
+	n      int // distinct replicas
+}
+
+// defaultVNodes balances group placement to within a few percent for small
+// fleets without making ring construction noticeable.
+const defaultVNodes = 64
+
+// buildRing places vnodes virtual points per replica ID.
+func buildRing(ids []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &ring{n: len(ids), points: make([]ringPoint, 0, len(ids)*vnodes)}
+	for i, id := range ids {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(id + "#" + strconv.Itoa(v)), replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		return p.replica < q.replica // total order: ties never flip placement
+	})
+	return r
+}
+
+// successors returns the first n distinct replica indices clockwise from
+// key's ring position — the placement of a group, or the preference order
+// of a query when n covers every replica.
+func (r *ring) successors(key string, n int) []int {
+	if r.n == 0 {
+		return nil
+	}
+	if n > r.n {
+		n = r.n
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}
+
+// hash64 hashes a string onto the ring. FNV-1a alone clusters badly on
+// short strings that differ only in a suffix digit ("r0#1" vs "r0#2"),
+// which would hand one replica giant contiguous arcs; the murmur-style
+// finalizer scatters those near-collisions across the whole ring.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the 64-bit avalanche finalizer from MurmurHash3/SplitMix64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// groupShards returns the contiguous shard index ranges of G groups tiling
+// [0, K): group g owns shards [g*K/G, (g+1)*K/G). Contiguity matters —
+// time-partitioned shards make a group a contiguous capture-time range, so
+// a whole-group outage is an explainable hole in the timeline, not
+// confetti.
+func groupShards(shards, groups int) [][]int {
+	out := make([][]int, groups)
+	for g := 0; g < groups; g++ {
+		lo, hi := g*shards/groups, (g+1)*shards/groups
+		for s := lo; s < hi; s++ {
+			out[g] = append(out[g], s)
+		}
+	}
+	return out
+}
+
+// validateTopology checks the shard/group/replication geometry once at
+// construction, so every later routing decision can assume it.
+func validateTopology(shards, groups, replication, replicas int) error {
+	if replicas == 0 {
+		return fmt.Errorf("router: no replicas configured")
+	}
+	if shards < 1 {
+		return fmt.Errorf("router: shard count %d, want >= 1", shards)
+	}
+	if groups < 1 || groups > shards {
+		return fmt.Errorf("router: %d groups for %d shards, want 1 <= groups <= shards", groups, shards)
+	}
+	if replication < 1 {
+		return fmt.Errorf("router: replication factor %d, want >= 1", replication)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package router
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func TestRingSuccessorsDeterministicAndDistinct(t *testing.T) {
+	ids := []string{"r0", "r1", "r2", "r3"}
+	a := buildRing(ids, 0)
+	b := buildRing(ids, 0)
+	for _, key := range []string{"g|0", "g|1", "q|/api/v1/stats|", "q|/api/v1/count|from=1"} {
+		got := a.successors(key, 4)
+		if !reflect.DeepEqual(got, b.successors(key, 4)) {
+			t.Fatalf("%s: ring placement not deterministic", key)
+		}
+		if len(got) != 4 {
+			t.Fatalf("%s: got %d replicas, want 4", key, len(got))
+		}
+		seen := map[int]bool{}
+		for _, idx := range got {
+			if seen[idx] {
+				t.Fatalf("%s: replica %d repeated in %v", key, idx, got)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestRingSpreadsPrimaries(t *testing.T) {
+	r := buildRing([]string{"r0", "r1", "r2", "r3"}, 0)
+	primaries := map[int]int{}
+	for i := 0; i < 200; i++ {
+		primaries[r.successors("key-"+strconv.Itoa(i), 1)[0]]++
+	}
+	for idx := 0; idx < 4; idx++ {
+		if primaries[idx] == 0 {
+			t.Fatalf("replica %d never primary across 200 keys: %v", idx, primaries)
+		}
+	}
+}
+
+func TestRingSuccessorsClampAndEmpty(t *testing.T) {
+	if got := buildRing(nil, 0).successors("k", 2); got != nil {
+		t.Fatalf("empty ring: got %v", got)
+	}
+	if got := buildRing([]string{"a", "b"}, 8).successors("k", 5); len(got) != 2 {
+		t.Fatalf("want clamp to 2 replicas, got %v", got)
+	}
+}
+
+func TestGroupShardsTilesContiguously(t *testing.T) {
+	cases := []struct {
+		shards, groups int
+		want           [][]int
+	}{
+		{4, 2, [][]int{{0, 1}, {2, 3}}},
+		{5, 2, [][]int{{0, 1}, {2, 3, 4}}},
+		{3, 3, [][]int{{0}, {1}, {2}}},
+		{6, 1, [][]int{{0, 1, 2, 3, 4, 5}}},
+	}
+	for _, c := range cases {
+		if got := groupShards(c.shards, c.groups); !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("groupShards(%d, %d) = %v, want %v", c.shards, c.groups, got, c.want)
+		}
+	}
+}
+
+func TestValidateTopology(t *testing.T) {
+	if err := validateTopology(4, 2, 2, 4); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	for _, c := range [][4]int{
+		{4, 2, 2, 0}, // no replicas
+		{0, 1, 1, 2}, // no shards
+		{4, 5, 1, 2}, // more groups than shards
+		{4, 0, 1, 2}, // zero groups
+		{4, 2, 0, 2}, // zero replication
+	} {
+		if err := validateTopology(c[0], c[1], c[2], c[3]); err == nil {
+			t.Fatalf("validateTopology(%v) accepted", c)
+		}
+	}
+}

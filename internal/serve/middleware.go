@@ -84,15 +84,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{"ok"})
 }
 
-// handleReadyz reports readiness: liveness plus "not draining".
+// ShardStatus is the per-shard readiness detail a sharded server reports
+// on /readyz. The routing tier's health prober reads it to learn the shard
+// count of a replica and to watch the tail shard's snapshot version advance
+// under stream appends — the shard-aware half of its failover decisions.
+type ShardStatus struct {
+	// Count is the number of time-partition shards served.
+	Count int `json:"count"`
+	// Bounds is the K+1 capture-interval tiling of the shards.
+	Bounds []int32 `json:"bounds"`
+	// Versions is the per-shard snapshot version vector.
+	Versions []uint64 `json:"versions"`
+	// TailVersion is the version of the tail (append-target) shard.
+	TailVersion uint64 `json:"tailVersion"`
+}
+
+// ReadyStatus is the /readyz response body. Shards is nil on a monolithic
+// server.
+type ReadyStatus struct {
+	Status string       `json:"status"`
+	Shards *ShardStatus `json:"shards,omitempty"`
+}
+
+// handleReadyz reports readiness: liveness plus "not draining". A sharded
+// server additionally reports per-shard status so the router's prober can
+// make shard-aware decisions.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		jsonError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	writeJSON(w, r, struct {
-		Status string `json:"status"`
-	}{"ready"})
+	st := ReadyStatus{Status: "ready"}
+	if s.sview != nil {
+		sdb := s.sview.DB()
+		sh := &ShardStatus{
+			Count:       sdb.K(),
+			Bounds:      sdb.Bounds(),
+			Versions:    make([]uint64, sdb.K()),
+			TailVersion: sdb.Tail().Version(),
+		}
+		for i := range sh.Versions {
+			sh.Versions[i] = sdb.Part(i).Version()
+		}
+		st.Shards = sh
+	}
+	writeJSON(w, r, st)
 }
 
 // protect is the middleware chain applied outside the mux: panic recovery,

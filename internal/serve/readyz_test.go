@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gdeltmine/internal/shard"
+)
+
+// TestReadyzMonolithHasNoShardStatus keeps the monolith /readyz shape
+// stable: status only, no shards block.
+func TestReadyzMonolithHasNoShardStatus(t *testing.T) {
+	srv := testServer(t)
+	var st ReadyStatus
+	if code := getJSON(t, srv, "/readyz", &st); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if st.Status != "ready" {
+		t.Fatalf("status %q, want ready", st.Status)
+	}
+	if st.Shards != nil {
+		t.Fatalf("monolith /readyz reports shard status: %+v", st.Shards)
+	}
+}
+
+// TestReadyzShardedReportsPerShardStatus checks the shard-aware /readyz a
+// routing tier's prober depends on: shard count, the interval tiling, the
+// per-shard version vector, and the tail shard's version.
+func TestReadyzShardedReportsPerShardStatus(t *testing.T) {
+	testServer(t) // populates cachedDB
+	const k = 3
+	sdb, err := shard.Split(cachedDB, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewSharded(sdb, Config{})
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+
+	var st ReadyStatus
+	if code := getJSON(t, srv, "/readyz", &st); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if st.Status != "ready" || st.Shards == nil {
+		t.Fatalf("sharded /readyz %+v", st)
+	}
+	sh := st.Shards
+	if sh.Count != k {
+		t.Fatalf("shard count %d, want %d", sh.Count, k)
+	}
+	if len(sh.Bounds) != k+1 {
+		t.Fatalf("bounds %v, want %d entries tiling the interval range", sh.Bounds, k+1)
+	}
+	for i := 1; i < len(sh.Bounds); i++ {
+		if sh.Bounds[i] < sh.Bounds[i-1] {
+			t.Fatalf("bounds not monotone: %v", sh.Bounds)
+		}
+	}
+	if len(sh.Versions) != k {
+		t.Fatalf("version vector %v, want %d entries", sh.Versions, k)
+	}
+	if want := sh.Versions[k-1]; sh.TailVersion != want {
+		t.Fatalf("tail version %d, want tail shard's %d", sh.TailVersion, want)
+	}
+
+	// Draining flips /readyz to 503 regardless of shard detail.
+	server.SetReady(false)
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz status %d, want 503", resp.StatusCode)
+	}
+}
