@@ -37,12 +37,16 @@ go run ./cmd/gdeltbench -cache-bench \
   -cache-json results/cache_bench.json -cache-min-speedup 10
 
 # Kernel benchmark gate: the vectorized cross-count kernel must stay >=2x
-# over the closure fallback at workers=4, and the postings-pruned co-report
-# over a 16-source panel >=3x over the full event scan. Samples of the slow
-# and fast paths are interleaved so machine-wide noise cancels in the ratio.
-# Artifact lands in results/kernel_bench.json.
+# over the closure fallback at workers=4, the bitmap-pruned co-report over
+# a 16-source mid-spectrum panel >=3x over the full event scan, and the
+# cost-based planner must never lose to the closure scan on ANY report
+# kernel — including the dense top-16 panels where row pruning cannot pay
+# and the planner must fall back to the candidate-events plan. Samples of
+# the slow and fast paths are interleaved so machine-wide noise cancels in
+# the ratio. Artifact lands in results/kernel_bench.json.
 go run ./cmd/gdeltbench -kernel-bench -kernel-workers 4 \
-  -kernel-json results/kernel_bench.json -kernel-min-typed 2 -kernel-min-pruned 3
+  -kernel-json results/kernel_bench.json \
+  -kernel-min-typed 2 -kernel-min-pruned 3 -kernel-min-planner 1
 
 # Shard benchmark row (informational): the aggregated country query at K=4
 # shards vs the K=1 monolith on the standard world. The 1.15x ratio limit

@@ -76,12 +76,15 @@ func measurePair(slow, fast func()) (float64, float64) {
 }
 
 // runKernelBench measures the vectorized scan kernels against the generic
-// closure kernels they replace, and the postings-pruned report paths
+// closure kernels they replace, and the planner-driven report paths
 // against their full scans, on the loaded dataset. minTyped gates the
-// cross-count kernel (the acceptance kernel for typed execution) and
-// minPruned gates coreport-16 (the acceptance kernel for pruning); the
-// remaining rows are informational.
-func runKernelBench(ds *gdeltmine.Dataset, workers int, jsonPath string, minTyped, minPruned float64) error {
+// cross-count kernel (the acceptance kernel for typed execution),
+// minPruned gates coreport-16 (the acceptance kernel for pruning), and
+// minPlanner gates every planner-driven report row — the cost-based
+// planner must never be slower than the closure scan it replaces,
+// regardless of panel shape. The bitmap-* rows are informational: they
+// pin each forced plan's cost on the panel shape it was NOT built for.
+func runKernelBench(ds *gdeltmine.Dataset, workers int, jsonPath string, minTyped, minPruned, minPlanner float64) error {
 	e := ds.Engine().WithWorkers(workers).WithKind("kernel-bench")
 	db := e.DB()
 	nm := db.Mentions.Len()
@@ -163,23 +166,44 @@ func runKernelBench(ds *gdeltmine.Dataset, workers int, jsonPath string, minType
 	followScan := func(s []int32) { queries.FollowReportScan(e, s) }
 	followPruned := func(s []int32) { queries.FollowReport(e, s) }
 
-	// Pruned acceptance kernels: co- and follow-reporting over a 16-source
-	// panel spread across the publisher rank spectrum below the head (rank ≥
-	// ns/8) — the shape of a typical ad-hoc selection, where
-	// union-of-postings touches a few percent of the corpus. The top-16 rows
-	// are informational: on a generated corpus the handful of head publishers
-	// own most mentions, so pruning cannot pay there by construction and the
-	// full scan is the right plan (which the speedup column makes visible).
+	// Planner acceptance kernels: co- and follow-reporting over two panel
+	// shapes. The 16-source mid-spectrum panel (rank ≥ ns/8) is a typical
+	// ad-hoc selection touching a few percent of the corpus — the planner
+	// resolves it to the bitmap-pruned rows plan. The top-16 panel is the
+	// adversarial shape: on a generated corpus the head publishers own most
+	// mentions, so row extraction cannot pay and the planner resolves to
+	// the candidate-events plan, which scans strictly fewer rows than the
+	// closure. Both shapes therefore gate at >= minPlanner: the planner's
+	// job is to never lose to the scan, whichever plan it picks.
 	ranked, _ := ds.TopPublishers(ns)
 	base := len(ranked) / 8
 	panel := make([]int32, 0, 16)
 	for i := 0; i < 16 && base+i*(len(ranked)-base)/16 < len(ranked); i++ {
 		panel = append(panel, ranked[base+i*(len(ranked)-base)/16])
 	}
+	top := ranked[:min(16, len(ranked))]
 	addPruned("coreport-16", panel, coScan, coPruned)
 	addPruned("follow-16", panel, followScan, followPruned)
-	addPruned("coreport-top16", ranked[:min(16, len(ranked))], coScan, coPruned)
-	addPruned("follow-top16", ranked[:min(16, len(ranked))], followScan, followPruned)
+	addPruned("coreport-top16", top, coScan, coPruned)
+	addPruned("follow-top16", top, followScan, followPruned)
+
+	// Informational: each plan forced onto the panel shape the planner
+	// would NOT pick for it, showing the cost of a wrong choice (and why
+	// the threshold sits where it does).
+	rowsE := e.WithPlan(engine.PlanRows)
+	eventsE := e.WithPlan(engine.PlanEvents)
+	addPruned("bitmap-rows-top16", top, coScan,
+		func(s []int32) {
+			if _, err := queries.CoReport(rowsE, s); err != nil {
+				panic(err)
+			}
+		})
+	addPruned("bitmap-events-16", panel, coScan,
+		func(s []int32) {
+			if _, err := queries.CoReport(eventsE, s); err != nil {
+				panic(err)
+			}
+		})
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(results, "", "  ")
@@ -208,6 +232,19 @@ func runKernelBench(ds *gdeltmine.Dataset, workers int, jsonPath string, minType
 			}
 		}
 		fmt.Printf("pruned coreport-16 at or above %.1fx\n", minPruned)
+	}
+	if minPlanner > 0 {
+		plannerKernels := map[string]bool{
+			"coreport-16": true, "follow-16": true,
+			"coreport-top16": true, "follow-top16": true,
+		}
+		for _, r := range results {
+			if plannerKernels[r.Kernel] && r.PrunedSpeedup < minPlanner {
+				return fmt.Errorf("kernel-bench: %s planner speedup %.2fx below required %.1fx (planner lost to the closure scan)",
+					r.Kernel, r.PrunedSpeedup, minPlanner)
+			}
+		}
+		fmt.Printf("planner report kernels at or above %.1fx\n", minPlanner)
 	}
 	return nil
 }

@@ -71,6 +71,7 @@ func main() {
 		kernelWorkers = flag.Int("kernel-workers", 4, "worker count for the kernel benchmark")
 		kernelTyped   = flag.Float64("kernel-min-typed", 0, "fail when the typed cross-count speedup falls below this factor (0 disables)")
 		kernelPruned  = flag.Float64("kernel-min-pruned", 0, "fail when the pruned coreport-16 speedup falls below this factor (0 disables)")
+		kernelPlanner = flag.Float64("kernel-min-planner", 0, "fail when any planner-driven report kernel falls below this speedup vs the closure scan (0 disables)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -165,7 +166,7 @@ func main() {
 		return
 	}
 	if *kernelBench {
-		if err := runKernelBench(h.ds, *kernelWorkers, *kernelJSON, *kernelTyped, *kernelPruned); err != nil {
+		if err := runKernelBench(h.ds, *kernelWorkers, *kernelJSON, *kernelTyped, *kernelPruned, *kernelPlanner); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,231 @@
+package bitmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+)
+
+// The binary codec: a 4-byte magic, a version byte, a uvarint container
+// count, the containers (uvarint chunk key, type byte, uvarint cardinality,
+// type-specific payload), and a trailing CRC32 (IEEE) of everything before
+// it. Array payloads are little-endian uint16 values, run payloads are a
+// uvarint run count followed by (start, last) uint16 pairs, bitset payloads
+// are the 1024 words little-endian. The decoder is defensive end to end:
+// truncation, unknown container types, out-of-range keys or cardinalities,
+// non-canonical payloads and checksum mismatches are all errors, never
+// panics (FuzzDecode pins this).
+
+// codecMagic identifies a serialized bitmap.
+var codecMagic = [4]byte{'G', 'D', 'B', 'M'}
+
+// codecVersion is the format version this package writes and accepts.
+const codecVersion = 1
+
+// maxContainers caps decoder allocation; the row domain (int32) cannot hold
+// more chunks than this anyway.
+const maxContainers = maxChunk + 1
+
+// AppendTo appends the bitmap's encoding to dst and returns the extended
+// slice. Canonical bitmaps (FromSorted and set-operation results) encode
+// deterministically: equal row sets produce identical bytes.
+func (b *Bitmap) AppendTo(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, codecMagic[:]...)
+	dst = append(dst, codecVersion)
+	n := 0
+	if b != nil {
+		n = len(b.cs)
+	}
+	dst = binary.AppendUvarint(dst, uint64(n))
+	for i := 0; i < n; i++ {
+		c := &b.cs[i]
+		dst = binary.AppendUvarint(dst, uint64(b.keys[i]))
+		dst = append(dst, c.typ)
+		dst = binary.AppendUvarint(dst, uint64(c.card))
+		switch c.typ {
+		case typeArray:
+			for _, v := range c.arr {
+				dst = binary.LittleEndian.AppendUint16(dst, v)
+			}
+		case typeRun:
+			dst = binary.AppendUvarint(dst, uint64(len(c.arr)/2))
+			for _, v := range c.arr {
+				dst = binary.LittleEndian.AppendUint16(dst, v)
+			}
+		case typeBitset:
+			for _, w := range c.bits {
+				dst = binary.LittleEndian.AppendUint64(dst, w)
+			}
+		}
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decoder walks an encoding, latching the first error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("bitmap: "+format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) == 0 {
+		d.fail("truncated")
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) u16s(n int) []uint16 {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < 2*n {
+		d.fail("truncated payload (%d of %d bytes)", len(d.buf), 2*n)
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(d.buf[2*i:])
+	}
+	d.buf = d.buf[2*n:]
+	return out
+}
+
+// Decode parses an encoding produced by AppendTo, consuming the entire
+// input: trailing bytes are an error. Corrupt input of any shape returns an
+// error, never panics.
+func Decode(data []byte) (*Bitmap, error) {
+	if len(data) < len(codecMagic)+1+4 {
+		return nil, fmt.Errorf("bitmap: encoding truncated (%d bytes)", len(data))
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("bitmap: checksum mismatch")
+	}
+	for i := range codecMagic {
+		if body[i] != codecMagic[i] {
+			return nil, fmt.Errorf("bitmap: bad magic %q", body[:len(codecMagic)])
+		}
+	}
+	if v := body[len(codecMagic)]; v != codecVersion {
+		return nil, fmt.Errorf("bitmap: unsupported version %d", v)
+	}
+	d := &decoder{buf: body[len(codecMagic)+1:]}
+	n := d.uvarint()
+	if n > maxContainers {
+		return nil, fmt.Errorf("bitmap: %d containers exceeds maximum", n)
+	}
+	b := &Bitmap{}
+	if n > 0 {
+		b.keys = make([]uint16, 0, n)
+		b.cs = make([]container, 0, n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		key := d.uvarint()
+		typ := d.byte()
+		card := d.uvarint()
+		if d.err != nil {
+			break
+		}
+		if key > maxChunk {
+			return nil, fmt.Errorf("bitmap: chunk key %d out of range", key)
+		}
+		if len(b.keys) > 0 && uint16(key) <= b.keys[len(b.keys)-1] {
+			return nil, fmt.Errorf("bitmap: chunk keys not ascending at %d", key)
+		}
+		if card < 1 || card > chunkSize {
+			return nil, fmt.Errorf("bitmap: container cardinality %d out of range", card)
+		}
+		c := container{typ: typ, card: int32(card)}
+		switch typ {
+		case typeArray:
+			if card > arrayMax {
+				return nil, fmt.Errorf("bitmap: array container cardinality %d exceeds %d", card, arrayMax)
+			}
+			c.arr = d.u16s(int(card))
+			for j := 1; j < len(c.arr); j++ {
+				if c.arr[j] <= c.arr[j-1] {
+					return nil, fmt.Errorf("bitmap: array container values not ascending")
+				}
+			}
+		case typeRun:
+			runs := d.uvarint()
+			if runs < 1 || runs > uint64(card) {
+				return nil, fmt.Errorf("bitmap: run count %d inconsistent with cardinality %d", runs, card)
+			}
+			c.arr = d.u16s(int(runs) * 2)
+			var total uint64
+			for j := 0; j+1 < len(c.arr); j += 2 {
+				start, last := c.arr[j], c.arr[j+1]
+				if last < start {
+					return nil, fmt.Errorf("bitmap: run [%d, %d] inverted", start, last)
+				}
+				// Canonical runs are separated by at least one clear bit;
+				// adjacent or overlapping runs would make encodings ambiguous.
+				if j > 0 && int(start) <= int(c.arr[j-1])+1 {
+					return nil, fmt.Errorf("bitmap: runs not ascending and separated")
+				}
+				total += uint64(last-start) + 1
+			}
+			if d.err == nil && total != card {
+				return nil, fmt.Errorf("bitmap: runs cover %d rows, cardinality says %d", total, card)
+			}
+		case typeBitset:
+			words := d.u16s(bitsetWords * 4) // reuse the bounds check: 4 uint16 per word
+			if d.err == nil {
+				c.bits = make([]uint64, bitsetWords)
+				for w := range c.bits {
+					c.bits[w] = uint64(words[4*w]) | uint64(words[4*w+1])<<16 |
+						uint64(words[4*w+2])<<32 | uint64(words[4*w+3])<<48
+				}
+				got := 0
+				for _, w := range c.bits {
+					got += bits.OnesCount64(w)
+				}
+				if uint64(got) != card {
+					return nil, fmt.Errorf("bitmap: bitset has %d bits, cardinality says %d", got, card)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("bitmap: unknown container type %d", typ)
+		}
+		if d.err != nil {
+			break
+		}
+		b.keys = append(b.keys, uint16(key))
+		b.cs = append(b.cs, c)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("bitmap: %d trailing bytes after containers", len(d.buf))
+	}
+	return b, nil
+}

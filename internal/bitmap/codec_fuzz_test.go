@@ -1,0 +1,217 @@
+package bitmap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// refix recomputes the trailing CRC so a deliberate payload mutation reaches
+// the structural validators instead of being rejected at the checksum.
+func refix(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) < 4 {
+		return out
+	}
+	binary.LittleEndian.PutUint32(out[len(out)-4:], crc32.ChecksumIEEE(out[:len(out)-4]))
+	return out
+}
+
+// fuzzShapes returns valid encodings covering every container type plus the
+// empty bitmap and a multi-chunk mix.
+func fuzzShapes() map[string][]byte {
+	rng := rand.New(rand.NewSource(41))
+	shapes := map[string]*Bitmap{
+		"empty": New(),
+		"array": FromSorted([]int32{0, 3, 7, 4095, 4096, 65535}),
+	}
+	span := make([]int32, 0, chunkSize)
+	for i := int32(0); i < chunkSize; i++ {
+		span = append(span, i)
+	}
+	shapes["run"] = FromSorted(span)
+	var dense []int32
+	for i := int32(0); i < 5000; i++ {
+		dense = append(dense, (i*13)%chunkSize)
+	}
+	shapes["bitset"] = FromSorted(dedupSorted(dense))
+	var mix []int32
+	for i := 0; i < 9000; i++ {
+		mix = append(mix, rng.Int31n(4*chunkSize))
+	}
+	shapes["mixed"] = FromSorted(dedupSorted(mix))
+
+	out := make(map[string][]byte, len(shapes))
+	for name, b := range shapes {
+		out[name] = b.AppendTo(nil)
+	}
+	return out
+}
+
+func dedupSorted(rows []int32) []int32 {
+	sortInt32(rows)
+	out := rows[:0]
+	for i, v := range rows {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortInt32(rows []int32) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j] < rows[j-1]; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+// codecFuzzSeeds assembles the corpus: valid encodings of every shape plus
+// systematic corruptions — truncations, flipped container-type bytes, bad
+// cardinalities, checksum damage — all of which must error, never panic.
+func codecFuzzSeeds() map[string][]byte {
+	seeds := map[string][]byte{}
+	for name, enc := range fuzzShapes() {
+		seeds["valid-"+name] = enc
+		if len(enc) > 12 {
+			seeds["trunc-"+name] = enc[:len(enc)/2]
+			seeds["no-crc-"+name] = enc[:len(enc)-4]
+			// Flip the first container's type byte (magic 4 + version 1 +
+			// count varint 1..2 + key varint ≥1): probe both offsets.
+			for _, off := range []int{6, 7} {
+				mut := append([]byte(nil), enc...)
+				mut[off] ^= 0x7
+				seeds["flip-type-"+name+"-"+strconv.Itoa(off)] = refix(mut)
+			}
+			// Inflate a cardinality varint.
+			mut := append([]byte(nil), enc...)
+			mut[8] ^= 0x55
+			seeds["bad-card-"+name] = refix(mut)
+			// Raw bit flips that fail the CRC.
+			mut = append([]byte(nil), enc...)
+			mut[len(mut)/2] ^= 0x10
+			seeds["crc-"+name] = mut
+		}
+	}
+	seeds["short"] = []byte{'G', 'D', 'B', 'M'}
+	seeds["bad-magic"] = refix([]byte{'X', 'D', 'B', 'M', 1, 0, 0, 0, 0, 0})
+	seeds["bad-version"] = refix([]byte{'G', 'D', 'B', 'M', 9, 0, 0, 0, 0, 0})
+	seeds["huge-count"] = refix(append([]byte{'G', 'D', 'B', 'M', 1, 0xFF, 0xFF, 0xFF, 0x7F}, 0, 0, 0, 0))
+	return seeds
+}
+
+// FuzzDecode pins the decoder contract: arbitrary bytes may produce an
+// error but never a panic, and any accepted input must re-encode and
+// re-decode to the same bitmap with stable bytes.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range codecFuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Decode(data)
+		if err != nil {
+			return
+		}
+		rows := b.AppendRows(nil)
+		if int64(len(rows)) != b.Cardinality() {
+			t.Fatalf("cardinality %d but %d rows extracted", b.Cardinality(), len(rows))
+		}
+		for i := 1; i < len(rows); i++ {
+			if rows[i] <= rows[i-1] {
+				t.Fatalf("extracted rows not ascending at %d", i)
+			}
+		}
+		enc := b.AppendTo(nil)
+		b2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decoding accepted bitmap failed: %v", err)
+		}
+		if !Equal(b, b2) {
+			t.Fatalf("re-decode disagrees with original decode")
+		}
+		if !bytes.Equal(enc, b2.AppendTo(nil)) {
+			t.Fatalf("re-encoding is not byte-stable")
+		}
+	})
+}
+
+// TestDecodeErrors drives each validator directly with CRC-fixed mutations,
+// so the specific error paths (not just the checksum) are exercised.
+func TestDecodeErrors(t *testing.T) {
+	arr := FromSorted([]int32{5, 9, 100}).AppendTo(nil)
+	cases := map[string][]byte{
+		"empty":     nil,
+		"short":     {1, 2, 3},
+		"truncated": arr[:len(arr)-6],
+		"crc":       append(append([]byte(nil), arr[:len(arr)-1]...), arr[len(arr)-1]^1),
+	}
+	// Unknown container type at offset 6 (magic+version+count).
+	mut := append([]byte(nil), arr...)
+	mut[7] = 9
+	cases["unknown-type"] = refix(mut)
+	// Array cardinality claiming more values than the payload holds.
+	mut = append([]byte(nil), arr...)
+	mut[8] = 200
+	cases["bad-card"] = refix(mut)
+	// Descending array values.
+	mut = append([]byte(nil), arr...)
+	binary.LittleEndian.PutUint16(mut[9:], 500) // first value now > second
+	cases["unsorted-array"] = refix(mut)
+	// Run container whose coverage disagrees with its cardinality.
+	run := FromSorted([]int32{10, 11, 12, 13, 20, 21}).AppendTo(nil)
+	if run[7] != typeRun {
+		t.Fatalf("expected run container encoding, got type %d", run[7])
+	}
+	mut = append([]byte(nil), run...)
+	mut[8] = 5 // card was 6
+	cases["run-card-mismatch"] = refix(mut)
+	// Bitset popcount disagreeing with its cardinality.
+	var dense []int32
+	for i := int32(0); i < 5000; i++ {
+		dense = append(dense, (i*13)%chunkSize)
+	}
+	bs := FromSorted(dedupSorted(dense)).AppendTo(nil)
+	mut = append([]byte(nil), bs...)
+	mut[20] ^= 0xFF // flip payload bits without touching the cardinality
+	cases["bitset-popcount"] = refix(mut)
+	// Trailing garbage after a valid body.
+	withTail := append(append([]byte(nil), arr[:len(arr)-4]...), 0xAB)
+	cases["trailing"] = refix(append(withTail, 0, 0, 0, 0))
+
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+
+	// Sanity: the unmutated encodings all decode.
+	for _, valid := range [][]byte{arr, run, bs} {
+		if _, err := Decode(valid); err != nil {
+			t.Fatalf("valid encoding rejected: %v", err)
+		}
+	}
+}
+
+// TestWriteBitmapFuzzSeedCorpus regenerates the checked-in corpus when
+// GDELT_UPDATE_FUZZ_CORPUS=1, mirroring the binfmt/manifest fuzzers.
+func TestWriteBitmapFuzzSeedCorpus(t *testing.T) {
+	if os.Getenv("GDELT_UPDATE_FUZZ_CORPUS") != "1" {
+		t.Skip("set GDELT_UPDATE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range codecFuzzSeeds() {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -32,6 +32,9 @@ type Engine struct {
 	ctx     context.Context
 	// kind labels the engine's scan metrics with the query being served.
 	kind string
+	// plan pins selection queries to a physical plan; PlanAuto defers to
+	// the cost-based planner (planner.go).
+	plan PlanMode
 	// Mention-row window [rowLo, rowHi); rowHi == 0 means the full table.
 	rowLo, rowHi int64
 }

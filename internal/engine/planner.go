@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+
+	"gdeltmine/internal/obs"
+)
+
+// The cost-based planner (DESIGN.md §12). Selection queries (CoReport,
+// FollowReport) have three physical plans with identical results:
+//
+//   - rows: union the selected sources' row bitmaps and touch only those
+//     mention rows, grouped by event. Work is O(selected rows), the right
+//     plan when the selection is a small fraction of the table.
+//   - events: union the selected sources' event bitmaps and scan the full
+//     mention lists of only the candidate events. Work is O(rows of touched
+//     events) — strictly a subset of the full scan — the right plan when the
+//     selection covers much of the table and per-row extraction overhead
+//     would exceed the sequential scan it displaces.
+//   - scan: the closure reference over every event. Never chosen
+//     automatically; reachable only by forcing, for baselines and
+//     differential tests.
+//
+// The estimate driving the choice is exact, not sampled: source postings are
+// disjoint, so selectivity = Σ bitmap cardinalities / mention rows, each
+// cardinality an O(containers) register sum.
+
+// PlanMode selects the physical execution plan for selection queries.
+type PlanMode uint8
+
+const (
+	// PlanAuto lets the planner choose from bitmap cardinalities.
+	PlanAuto PlanMode = iota
+	// PlanRows forces bitmap-pruned row extraction.
+	PlanRows
+	// PlanEvents forces the candidate-events plan.
+	PlanEvents
+	// PlanScan forces the full closure scan.
+	PlanScan
+)
+
+// RowsPlanThreshold is the selectivity at or below which the planner picks
+// the rows plan: below it the selection's rows are sparse enough that
+// extracting exactly them beats rescanning whole events. Above it the
+// events plan wins — it stays within a constant of the dense scan while
+// still skipping untouched events.
+const RowsPlanThreshold = 0.20
+
+// String renders the mode as its registry parameter value.
+func (m PlanMode) String() string {
+	switch m {
+	case PlanRows:
+		return "rows"
+	case PlanEvents:
+		return "events"
+	case PlanScan:
+		return "scan"
+	default:
+		return "auto"
+	}
+}
+
+// ParsePlanMode parses a registry "plan" parameter value.
+func ParsePlanMode(s string) (PlanMode, error) {
+	switch s {
+	case "", "auto":
+		return PlanAuto, nil
+	case "rows":
+		return PlanRows, nil
+	case "events":
+		return PlanEvents, nil
+	case "scan":
+		return PlanScan, nil
+	}
+	return PlanAuto, fmt.Errorf("engine: unknown plan mode %q (want auto, rows, events or scan)", s)
+}
+
+// WithPlan returns a copy of the engine pinned to a plan mode. PlanAuto
+// (the default) defers to PlanSelection's cost estimate per query.
+func (e *Engine) WithPlan(m PlanMode) *Engine {
+	cp := *e
+	cp.plan = m
+	return &cp
+}
+
+// Plan returns the engine view's plan mode.
+func (e *Engine) Plan() PlanMode { return e.plan }
+
+// plannerChoices counts resolved plans by path, one counter per label value.
+var plannerChoices = [...]*obs.Counter{
+	PlanRows: obs.Default.Counter("planner_choice_total",
+		"selection plans resolved by the cost-based planner", obs.L("path", "rows")),
+	PlanEvents: obs.Default.Counter("planner_choice_total",
+		"selection plans resolved by the cost-based planner", obs.L("path", "events")),
+	PlanScan: obs.Default.Counter("planner_choice_total",
+		"selection plans resolved by the cost-based planner", obs.L("path", "scan")),
+}
+
+// ObservePlan records the resolved plan of one executed selection query.
+// Exported for the sharded view, which resolves plans itself.
+func ObservePlan(m PlanMode) {
+	if int(m) < len(plannerChoices) && plannerChoices[m] != nil {
+		plannerChoices[m].Inc()
+	}
+}
+
+// PlanSelection resolves the physical plan for a query over the given
+// source selection. Forced modes pass through; PlanAuto estimates
+// selectivity from the selection's row-bitmap cardinalities and picks rows
+// below RowsPlanThreshold, events above. The resolved choice is recorded in
+// planner_choice_total{path=...}.
+func (e *Engine) PlanSelection(sources []int32) PlanMode {
+	m := e.plan
+	if m == PlanAuto {
+		m = PlanRows
+		nm := e.db.Mentions.Len()
+		if nm > 0 {
+			var sel int64
+			for i, s := range sources {
+				dup := false
+				for _, p := range sources[:i] {
+					if p == s {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					sel += e.db.SourceRowBitmap(s).Cardinality()
+				}
+			}
+			if float64(sel)/float64(nm) > RowsPlanThreshold {
+				m = PlanEvents
+			}
+		}
+	}
+	ObservePlan(m)
+	return m
+}

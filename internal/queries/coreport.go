@@ -3,6 +3,7 @@ package queries
 import (
 	"sync"
 
+	"gdeltmine/internal/bitmap"
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/matrix"
 	"gdeltmine/internal/parallel"
@@ -54,43 +55,33 @@ type eventGroups struct {
 
 func groupSelectedMentions(e *engine.Engine, sources []int32) *eventGroups {
 	db := e.DB()
-	// Duplicate source ids would duplicate rows, which the full scan never
-	// sees — dedup the (tiny) selection first instead of sorting the rows.
-	uniq := make([]int32, 0, len(sources))
-	for _, s := range sources {
-		dup := false
-		for _, u := range uniq {
-			if u == s {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			uniq = append(uniq, s)
-		}
+	// Union the selected sources' row bitmaps: duplicates in the selection
+	// collapse for free, and extraction yields every selected row in globally
+	// ascending order. Ascending rows stay ascending within each group under
+	// a stable counting sort, so no per-group re-sorting is needed — the
+	// per-group insertion sorts this replaces were the cost that regressed
+	// high-selectivity top-k panels below the full scan.
+	bms := make([]*bitmap.Bitmap, len(sources))
+	for i, s := range sources {
+		bms[i] = db.SourceRowBitmap(s)
 	}
+	u := bitmap.UnionAll(bms)
+	total := u.Cardinality()
+	selRows := u.AppendRows(make([]int32, 0, total))
 
-	total := 0
-	for _, s := range uniq {
-		total += len(db.SourceMentions(s))
-	}
-
-	// Dense event index (first-appearance order) and a counting sort of the
-	// selected postings rows into per-event groups. Postings from different
-	// sources are disjoint, so no row-level dedup is needed.
+	// Dense event index (first-appearance order) and a stable counting sort
+	// of the selected rows into per-event groups.
 	evIndex := make([]int32, db.Events.Len()) // dense group index + 1; 0 = absent
 	counts := make([]int32, 0, 256)
-	for _, s := range uniq {
-		for _, r := range db.SourceMentions(s) {
-			ev := db.Mentions.EventRow[r]
-			g := evIndex[ev]
-			if g == 0 {
-				counts = append(counts, 0)
-				g = int32(len(counts))
-				evIndex[ev] = g
-			}
-			counts[g-1]++
+	for _, r := range selRows {
+		ev := db.Mentions.EventRow[r]
+		g := evIndex[ev]
+		if g == 0 {
+			counts = append(counts, 0)
+			g = int32(len(counts))
+			evIndex[ev] = g
 		}
+		counts[g-1]++
 	}
 	groups := len(counts)
 	ptr := make([]int32, groups+1)
@@ -99,38 +90,54 @@ func groupSelectedMentions(e *engine.Engine, sources []int32) *eventGroups {
 	}
 	grouped := make([]int32, total)
 	cur := make([]int32, groups)
-	for _, s := range uniq {
-		for _, r := range db.SourceMentions(s) {
-			g := evIndex[db.Mentions.EventRow[r]] - 1
-			grouped[int(ptr[g])+int(cur[g])] = r
-			cur[g]++
-		}
+	for _, r := range selRows {
+		g := evIndex[db.Mentions.EventRow[r]] - 1
+		grouped[int(ptr[g])+int(cur[g])] = r
+		cur[g]++
 	}
-	// Each group interleaves up to k ascending postings runs; restore the
-	// ascending row order (= ascending capture interval, which the
-	// follow-reporting leader pass depends on) with per-group sorts. Groups
-	// are small, so this costs far less than a global sort of all rows.
 	eg := &eventGroups{rows: grouped, ptr: ptr, idx: make([]int32, groups)}
 	for g := range eg.idx {
 		eg.idx[g] = int32(g)
-		insertionSortInt32(eg.group(int32(g)))
 	}
 	return eg
 }
 
-// insertionSortInt32 sorts a tiny, mostly-ordered slice in place. Groups
-// rarely exceed a handful of rows, where insertion sort beats sort.Slice's
-// per-call reflection setup by orders of magnitude.
-func insertionSortInt32(s []int32) {
-	for i := 1; i < len(s); i++ {
-		v := s[i]
-		j := i - 1
-		for j >= 0 && s[j] > v {
-			s[j+1] = s[j]
-			j--
+// activeSlots returns the panel positions that survive duplicate
+// resolution: slot[sources[i]] == i exactly when position i is the last
+// occurrence of its source. Shadowed positions are inert — the scan never
+// marks them present — so the bitmap-algebra plans must compute them as
+// zeros, which skipping them here achieves.
+func activeSlots(sources []int32, slot []int32) []int32 {
+	act := make([]int32, 0, len(sources))
+	for i, s := range sources {
+		if slot[s] == int32(i) {
+			act = append(act, int32(i))
 		}
-		s[j+1] = v
 	}
+	return act
+}
+
+// contributingEvents returns the event rows that can contribute to
+// follow-reporting among the selection, ascending: an event matters only
+// when it holds at least two selected mention rows, i.e. when two distinct
+// selected sources co-occur on it (AtLeastTwo over the selection's event
+// bitmaps) or one selected source mentions it twice (the store's repeat-
+// event bitmaps). Events outside the set hold at most one selected row,
+// which sets a firstSeen mark and increments nothing — so restricting the
+// scan to this set is exact, not an approximation.
+func contributingEvents(e *engine.Engine, sources []int32, slot []int32) []int32 {
+	db := e.DB()
+	act := activeSlots(sources, slot)
+	evBMs := make([]*bitmap.Bitmap, len(act))
+	repBMs := make([]*bitmap.Bitmap, 0, len(act)+1)
+	for i, a := range act {
+		s := sources[a]
+		evBMs[i] = db.SourceEventBitmap(s)
+		repBMs = append(repBMs, db.SourceRepeatEventBitmap(s))
+	}
+	repBMs = append(repBMs, bitmap.AtLeastTwo(evBMs))
+	u := bitmap.UnionAll(repBMs)
+	return u.AppendRows(make([]int32, 0, u.Cardinality()))
 }
 
 // group returns the mention rows of dense group g, ascending by interval.
@@ -212,14 +219,18 @@ func FinishCoReporting(sources []int32, names []string, counts []int64, pair *ma
 	}, nil
 }
 
-// CoReport computes co-reporting among the selected sources via the
-// postings-pruned path: the selected sources' postings are grouped by event
-// (groupSelectedMentions) and only those rows are scanned — O(Σ postings of
-// the selection) instead of a pass over every mention of every event. The
-// per-event work is O(k·m) for k selected articles and m selected
-// reporters, as in the paper's dense-matrix strategy. CoReportScan is the
-// full-scan reference it is pinned against.
+// CoReport computes co-reporting among the selected sources through the
+// plan the cost-based planner resolves (engine.PlanSelection): bitmap-pruned
+// row extraction when the selection is sparse, the candidate-events plan
+// when it is dense, or — only when forced — the full closure scan. All three
+// produce identical results (the planner differential battery pins this).
 func CoReport(e *engine.Engine, sources []int32) (*CoReporting, error) {
+	switch e.PlanSelection(sources) {
+	case engine.PlanScan:
+		return CoReportScan(e, sources)
+	case engine.PlanEvents:
+		return coReportEvents(e, sources)
+	}
 	db := e.DB()
 	n := len(sources)
 	slot := slotLUT(db.Sources.Len(), sources)
@@ -236,6 +247,36 @@ func CoReport(e *engine.Engine, sources []int32) (*CoReporting, error) {
 		},
 		mergeCoPartials,
 	)
+	return finishCoReport(e, sources, res)
+}
+
+// coReportEvents is the event-bitmap algebra plan: the scan's pair count is,
+// by definition, the number of events where both sources appear — exactly
+// the intersection cardinality of their event bitmaps — and its singleton
+// count is the event-bitmap cardinality. No mention row is touched at all:
+// the k×k result costs O(k² × containers) register work, which on dense
+// top-k panels is an order of magnitude under the scan it replaces.
+// Shadowed duplicate panel positions stay all-zero, matching the scan's
+// last-occurrence slot resolution.
+func coReportEvents(e *engine.Engine, sources []int32) (*CoReporting, error) {
+	db := e.DB()
+	n := len(sources)
+	slot := slotLUT(db.Sources.Len(), sources)
+	act := activeSlots(sources, slot)
+	bms := make([]*bitmap.Bitmap, len(act))
+	res := newCoPartial(n)
+	for ai, i := range act {
+		bms[ai] = db.SourceEventBitmap(sources[i])
+		res.counts[i] = bms[ai].Cardinality()
+	}
+	cards := bitmap.PairwiseIntersectCards(bms)
+	for ai, i := range act {
+		for bj, j := range act[ai+1:] {
+			c := cards[ai][ai+1+bj]
+			res.pair.Set(int(i), int(j), c)
+			res.pair.Set(int(j), int(i), c)
+		}
+	}
 	return finishCoReport(e, sources, res)
 }
 
@@ -444,11 +485,16 @@ func selectedArticles(e *engine.Engine, sources []int32) []int64 {
 	return articles
 }
 
-// FollowReport computes follow-reporting among the selected sources via the
-// postings-pruned path: like CoReport, only the selected sources' mention
-// rows are scanned, grouped by event. FollowReportScan is the full-scan
-// reference.
+// FollowReport computes follow-reporting among the selected sources through
+// the planner-resolved plan, like CoReport. FollowReportScan is the closure
+// reference, reachable only by forcing engine.PlanScan.
 func FollowReport(e *engine.Engine, sources []int32) *FollowReporting {
+	switch e.PlanSelection(sources) {
+	case engine.PlanScan:
+		return FollowReportScan(e, sources)
+	case engine.PlanEvents:
+		return followReportEvents(e, sources)
+	}
 	db := e.DB()
 	n := len(sources)
 	slot := slotLUT(db.Sources.Len(), sources)
@@ -463,6 +509,33 @@ func FollowReport(e *engine.Engine, sources []int32) *FollowReporting {
 			touched := make([]int32, 0, 16)
 			for _, g := range groups {
 				touched = followReportRows(db, acc, eg.group(g), slot, firstSeen, touched)
+			}
+			return acc
+		},
+		mergeReleaseMatrixSerial,
+	)
+	return finishFollowReport(e, sources, selectedArticles(e, sources), nm)
+}
+
+// followReportEvents is the contributing-events plan of FollowReport: full
+// mention lists of only the events that can contribute — at least two
+// selected rows — so the ascending-interval leader pass sees exactly the
+// rows whose contribution is nonzero.
+func followReportEvents(e *engine.Engine, sources []int32) *FollowReporting {
+	db := e.DB()
+	n := len(sources)
+	slot := slotLUT(db.Sources.Len(), sources)
+	evs := contributingEvents(e, sources, slot)
+	nm := engine.ScanRows(e, evs, db.Events.Len(),
+		func() *matrix.Int64 { return &matrix.Int64{Rows: n, Cols: n, Data: parallel.GetInt64(n * n)} },
+		func(acc *matrix.Int64, events []int32) *matrix.Int64 {
+			firstSeen := make([]int32, n)
+			for i := range firstSeen {
+				firstSeen[i] = -1
+			}
+			touched := make([]int32, 0, 16)
+			for _, ev := range events {
+				touched = followReportRows(db, acc, db.EventMentions(ev), slot, firstSeen, touched)
 			}
 			return acc
 		},

@@ -30,14 +30,21 @@ import (
 // Magic identifies a shard manifest file.
 var Magic = [4]byte{'G', 'D', 'S', 'M'}
 
-// manifestVersion is the format version this package writes and reads.
-const manifestVersion = 1
+// manifestVersion is the format version this package writes. Version 1
+// manifests (no bitmap sections) are still accepted: the bitmaps are
+// derivable, so their sections are an integrity cross-check, not a
+// requirement.
+const manifestVersion = 2
+
+// minManifestVersion is the oldest version the decoder accepts.
+const minManifestVersion = 1
 
 const (
 	secMeta    = 0x01
 	secEntry   = 0x02
 	secSources = 0x03
 	secThemes  = 0x04
+	secBitmaps = 0x05
 	secEnd     = 0xFF
 )
 
@@ -57,14 +64,30 @@ type ManifestEntry struct {
 	Hi   int32 // last capture interval (exclusive)
 }
 
+// BitmapEntry carries one persisted source-row bitmap of a shard: the
+// source id in that shard's local dictionary and the canonical codec bytes.
+type BitmapEntry struct {
+	Source int32
+	Data   []byte
+}
+
+// ShardBitmaps groups the persisted bitmaps of one shard, keyed by the
+// shard's manifest-entry index.
+type ShardBitmaps struct {
+	Shard   int32
+	Entries []BitmapEntry
+}
+
 // Manifest describes a sharded layout on disk: the shared dataset
-// geometry, the shard files with their interval ranges, and the global
-// dictionaries as ordered name lists.
+// geometry, the shard files with their interval ranges, the global
+// dictionaries as ordered name lists, and (version 2) per-shard persisted
+// source-row bitmaps used as an assembly-time integrity cross-check.
 type Manifest struct {
 	Meta    store.Meta
 	Entries []ManifestEntry
 	Sources []string
-	Themes  []string // nil when the shards carry no GKG data
+	Themes  []string       // nil when the shards carry no GKG data
+	Bitmaps []ShardBitmaps // nil in version 1 manifests
 }
 
 // ManifestFromDB renders the manifest for a sharded DB whose part files
@@ -82,6 +105,16 @@ func ManifestFromDB(s *DB, files []string) (*Manifest, error) {
 	}
 	if s.hasGKG {
 		m.Themes = append([]string(nil), s.themes.Names()...)
+	}
+	for i, p := range s.parts {
+		sb := ShardBitmaps{Shard: int32(i)}
+		for src := 0; src < p.Sources.Len(); src++ {
+			sb.Entries = append(sb.Entries, BitmapEntry{
+				Source: int32(src),
+				Data:   p.SourceRowBitmap(int32(src)).AppendTo(nil),
+			})
+		}
+		m.Bitmaps = append(m.Bitmaps, sb)
 	}
 	return m, nil
 }
@@ -112,6 +145,19 @@ func EncodeManifest(w io.Writer, m *Manifest) error {
 	}
 	if m.Themes != nil {
 		if err := writeSection(w, secThemes, appendStrings(nil, m.Themes)); err != nil {
+			return err
+		}
+	}
+	for _, sb := range m.Bitmaps {
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, uint64(sb.Shard))
+		buf = binary.AppendUvarint(buf, uint64(len(sb.Entries)))
+		for _, e := range sb.Entries {
+			buf = binary.AppendUvarint(buf, uint64(e.Source))
+			buf = binary.AppendUvarint(buf, uint64(len(e.Data)))
+			buf = append(buf, e.Data...)
+		}
+		if err := writeSection(w, secBitmaps, buf); err != nil {
 			return err
 		}
 	}
@@ -157,7 +203,7 @@ func DecodeManifest(r io.Reader) (*Manifest, error) {
 	if !bytes.Equal(hdr[:4], Magic[:]) {
 		return nil, fmt.Errorf("shard: bad manifest magic %q", hdr[:4])
 	}
-	if hdr[4] != manifestVersion {
+	if hdr[4] < minManifestVersion || hdr[4] > manifestVersion {
 		return nil, fmt.Errorf("shard: unsupported manifest version %d", hdr[4])
 	}
 	m := &Manifest{}
@@ -206,6 +252,36 @@ func DecodeManifest(r io.Reader) (*Manifest, error) {
 			}
 			haveThemes = true
 			m.Themes = d.strs()
+		case secBitmaps:
+			sb := ShardBitmaps{Shard: int32(d.uvarint())}
+			n := d.uvarint()
+			if d.err == nil && (n > maxEntries || n > uint64(len(d.buf))) {
+				return nil, fmt.Errorf("shard: bitmap section claims %d entries", n)
+			}
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				src := d.uvarint()
+				nb := d.uvarint()
+				if d.err != nil {
+					break
+				}
+				if src > maxNames {
+					return nil, fmt.Errorf("shard: bitmap source id %d out of range", src)
+				}
+				if nb > maxPayload || nb > uint64(len(d.buf)) {
+					return nil, fmt.Errorf("shard: bitmap payload %d exceeds section", nb)
+				}
+				sb.Entries = append(sb.Entries, BitmapEntry{
+					Source: int32(src),
+					Data:   append([]byte(nil), d.buf[:nb]...),
+				})
+				d.buf = d.buf[nb:]
+			}
+			for _, prev := range m.Bitmaps {
+				if prev.Shard == sb.Shard {
+					return nil, fmt.Errorf("shard: duplicate bitmap section for shard %d", sb.Shard)
+				}
+			}
+			m.Bitmaps = append(m.Bitmaps, sb)
 		case secEnd:
 			haveEnd = true
 		default:
@@ -361,6 +437,29 @@ func AssembleSharded(m *Manifest, parts []*store.DB) (*DB, error) {
 		}
 		if p.Meta != m.Meta {
 			return nil, fmt.Errorf("shard: part %d meta %+v disagrees with manifest %+v", i, p.Meta, m.Meta)
+		}
+	}
+	// Version 2 manifests persist per-shard source-row bitmaps; validate
+	// each against the bitmap rebuilt from the loaded part. The canonical
+	// codec makes this a byte comparison: any disagreement means the part
+	// file and manifest are from different builds (or one is corrupt).
+	for _, sb := range m.Bitmaps {
+		if sb.Shard < 0 || int(sb.Shard) >= len(parts) {
+			return nil, fmt.Errorf("shard: bitmap section for shard %d of %d", sb.Shard, len(parts))
+		}
+		p := parts[sb.Shard]
+		seen := make(map[int32]bool, len(sb.Entries))
+		for _, e := range sb.Entries {
+			if seen[e.Source] {
+				return nil, fmt.Errorf("shard %d: duplicate bitmap for source %d", sb.Shard, e.Source)
+			}
+			seen[e.Source] = true
+			if e.Source < 0 || int(e.Source) >= p.Sources.Len() {
+				return nil, fmt.Errorf("shard %d: bitmap for source %d of %d", sb.Shard, e.Source, p.Sources.Len())
+			}
+			if !bytes.Equal(e.Data, p.SourceRowBitmap(e.Source).AppendTo(nil)) {
+				return nil, fmt.Errorf("shard %d: persisted bitmap for source %d disagrees with part data", sb.Shard, e.Source)
+			}
 		}
 	}
 	sources, err := store.FromNames(m.Sources)

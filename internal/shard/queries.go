@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"gdeltmine/internal/bitmap"
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/matrix"
@@ -329,18 +330,55 @@ func foldCountryMask(pair *matrix.Int64, counts []int64, mask uint64) {
 	}
 }
 
+// PlanSelection resolves the physical plan for a selection query over the
+// sharded store, mirroring engine.PlanSelection: forced modes pass through;
+// PlanAuto estimates selectivity from the per-shard row-bitmap cardinalities
+// of the selected sources against the total mention count.
+func (v *View) PlanSelection(sources []int32) engine.PlanMode {
+	m := v.plan
+	if m == engine.PlanAuto {
+		s := v.s
+		selG := make([]bool, s.sources.Len())
+		for _, src := range sources {
+			selG[src] = true
+		}
+		var sel, nm int64
+		for i, p := range s.parts {
+			nm += int64(p.Mentions.Len())
+			remap := s.l2gSrc[i]
+			for ls := 0; ls < p.Sources.Len(); ls++ {
+				if selG[remap[ls]] {
+					sel += p.SourceRowBitmap(int32(ls)).Cardinality()
+				}
+			}
+		}
+		m = engine.PlanRows
+		if nm > 0 && float64(sel)/float64(nm) > engine.RowsPlanThreshold {
+			m = engine.PlanEvents
+		}
+	}
+	engine.ObservePlan(m)
+	return m
+}
+
 // selection holds the per-shard execution plan for a global source
 // selection: local slot lookup tables (local source id → selection index,
-// -1 unselected) and the ascending list of candidate global events — the
-// events with at least one selected-source mention in some shard, found
-// from the shards' postings so unselected mentions of non-candidate
-// events are never scanned.
+// -1 unselected), the ascending list of candidate global events, and —
+// under the rows plan — per-shard CSRs of exactly the selected mention
+// rows keyed by local event. Candidate events are discovered from the
+// union of the selected sources' event bitmaps (O(containers) per source)
+// rather than a walk over their postings; the scan plan skips discovery
+// and lists every global event.
 type selection struct {
 	slots [][]int32
 	evs   []int32
+	// rows plan only: rowIdx[i][rowPtr[i][le]:rowPtr[i][le+1]] are shard
+	// i's selected mention rows of local event le, ascending by interval.
+	rowPtr [][]int32
+	rowIdx [][]int32
 }
 
-func (v *View) selection(sources []int32) *selection {
+func (v *View) selection(sources []int32, plan engine.PlanMode) *selection {
 	s := v.s
 	slotG := make([]int32, s.sources.Len())
 	for i := range slotG {
@@ -350,28 +388,89 @@ func (v *View) selection(sources []int32) *selection {
 		slotG[src] = int32(i) // duplicates resolve to the last occurrence
 	}
 	sel := &selection{slots: make([][]int32, len(s.parts))}
-	cand := make([]bool, s.events.Len())
 	for i, p := range s.parts {
 		slots := make([]int32, p.Sources.Len())
 		for ls := range slots {
 			slots[ls] = slotG[s.l2gSrc[i][ls]]
 		}
 		sel.slots[i] = slots
-		for ls, sl := range slots {
-			if sl < 0 {
-				continue
-			}
-			for _, r := range p.SourceMentions(int32(ls)) {
-				cand[s.l2gEv[i][p.Mentions.EventRow[r]]] = true
+	}
+	if plan == engine.PlanScan {
+		sel.evs = make([]int32, s.events.Len())
+		for ev := range sel.evs {
+			sel.evs[ev] = int32(ev)
+		}
+		return sel
+	}
+	cand := make([]bool, s.events.Len())
+	for i, p := range s.parts {
+		var bms []*bitmap.Bitmap
+		for ls, sl := range sel.slots[i] {
+			if sl >= 0 {
+				bms = append(bms, p.SourceEventBitmap(int32(ls)))
 			}
 		}
+		u := bitmap.UnionAll(bms)
+		remap := s.l2gEv[i]
+		u.ForEach(func(le int32) {
+			cand[remap[le]] = true
+		})
 	}
 	for ev, ok := range cand {
 		if ok {
 			sel.evs = append(sel.evs, int32(ev))
 		}
 	}
+	if plan == engine.PlanRows {
+		sel.rowPtr = make([][]int32, len(s.parts))
+		sel.rowIdx = make([][]int32, len(s.parts))
+		for i, p := range s.parts {
+			var bms []*bitmap.Bitmap
+			for ls, sl := range sel.slots[i] {
+				if sl >= 0 {
+					bms = append(bms, p.SourceRowBitmap(int32(ls)))
+				}
+			}
+			u := bitmap.UnionAll(bms)
+			rows := u.AppendRows(make([]int32, 0, u.Cardinality()))
+			ptr := make([]int32, p.Events.Len()+1)
+			for _, r := range rows {
+				ptr[p.Mentions.EventRow[r]+1]++
+			}
+			for le := 0; le < p.Events.Len(); le++ {
+				ptr[le+1] += ptr[le]
+			}
+			idx := make([]int32, len(rows))
+			cur := make([]int32, p.Events.Len())
+			for _, r := range rows {
+				le := p.Mentions.EventRow[r]
+				idx[ptr[le]+cur[le]] = r
+				cur[le]++
+			}
+			sel.rowPtr[i], sel.rowIdx[i] = ptr, idx
+		}
+	}
 	return sel
+}
+
+// shardRows calls f with each shard's mention rows for global event ev, in
+// shard (= time) order: the full event mention lists, or — under the rows
+// plan — only the selected rows. Within a shard rows ascend by interval and
+// shards tile time in order, so the concatenation replays the monolith's
+// ordering either way.
+func (sel *selection) shardRows(s *DB, ev int32, f func(i int, rows []int32)) {
+	if sel.rowPtr == nil {
+		s.shardEventRows(ev, f)
+		return
+	}
+	for i := range s.parts {
+		if lr := s.g2lEv[i][ev]; lr >= 0 {
+			ptr := sel.rowPtr[i]
+			if rows := sel.rowIdx[i][ptr[lr]:ptr[lr+1]]; len(rows) > 0 {
+				f(i, rows)
+			}
+		}
+	}
 }
 
 // shardEventRows calls f with each shard's mention rows for global event
@@ -388,12 +487,15 @@ func (s *DB) shardEventRows(ev int32, f func(i int, rows []int32)) {
 	}
 }
 
-// CoReport computes co-reporting among the selected global sources
-// (postings-pruned over candidate events, like the monolith's fast path).
+// CoReport computes co-reporting among the selected global sources through
+// the planner-resolved plan: selected rows only (rows), candidate events'
+// full mention lists (events), or every global event (scan, forced only).
+// All plans reduce through the same per-event fold and produce identical
+// results.
 func (v *View) CoReport(sources []int32) (*queries.CoReporting, error) {
 	s := v.s
 	n := len(sources)
-	sel := v.selection(sources)
+	sel := v.selection(sources, v.PlanSelection(sources))
 	type partial struct {
 		pair   *matrix.Int64
 		counts []int64
@@ -407,7 +509,7 @@ func (v *View) CoReport(sources []int32) (*queries.CoReporting, error) {
 			mark := make([]bool, n)
 			for _, ev := range sel.evs[lo:hi] {
 				present = present[:0]
-				s.shardEventRows(ev, func(i int, rows []int32) {
+				sel.shardRows(s, ev, func(i int, rows []int32) {
 					p := s.parts[i]
 					slots := sel.slots[i]
 					for _, row := range rows {
@@ -450,7 +552,7 @@ func (v *View) CoReport(sources []int32) (*queries.CoReporting, error) {
 func (v *View) FollowReport(sources []int32) *queries.FollowReporting {
 	s := v.s
 	n := len(sources)
-	sel := v.selection(sources)
+	sel := v.selection(sources, v.PlanSelection(sources))
 	nm := parallel.MapReduce(len(sel.evs), v.opt(),
 		func() *matrix.Int64 { return matrix.NewInt64(n, n) },
 		func(acc *matrix.Int64, lo, hi int) *matrix.Int64 {
@@ -460,7 +562,7 @@ func (v *View) FollowReport(sources []int32) *queries.FollowReporting {
 			}
 			touched := make([]int32, 0, 16)
 			for _, ev := range sel.evs[lo:hi] {
-				s.shardEventRows(ev, func(i int, rows []int32) {
+				sel.shardRows(s, ev, func(i int, rows []int32) {
 					p := s.parts[i]
 					slots := sel.slots[i]
 					for _, row := range rows {

@@ -1,0 +1,104 @@
+package store
+
+import "gdeltmine/internal/bitmap"
+
+// Bitmap postings (DESIGN.md §12): alongside the row-list postings built by
+// buildPostings, each source carries two roaring bitmaps — its mention rows
+// and its event rows. The row bitmap gives the planner O(containers)
+// cardinalities for selectivity estimation and lets the pruned CoReport /
+// FollowReport path union a selection's rows in ascending order without the
+// concat-and-sort the row lists need. The event bitmap answers "which events
+// does this selection touch at all" for the candidate-events plan. Both are
+// canonical (FromSorted), so equal row sets encode to identical bytes and the
+// GDSM manifest can cross-check persisted bitmaps against rebuilt ones.
+
+// buildSourceBitmaps derives the per-source row and event bitmaps from the
+// freshly built postings. Row bitmaps come straight from the ascending
+// posting lists; event bitmaps are built with one counting pass over the
+// event-sorted mention order so each source's event list is ascending and
+// deduplicated before FromSorted.
+func (db *DB) buildSourceBitmaps() {
+	ns := db.Sources.Len()
+	db.srcRowBM = make([]*bitmap.Bitmap, ns)
+	for s := 0; s < ns; s++ {
+		db.srcRowBM[s] = bitmap.FromSorted(db.SourceMentions(int32(s)))
+	}
+
+	// Count distinct events per source by walking events in ascending row
+	// order and deduplicating consecutive repeats per source.
+	lastEv := make([]int32, ns)
+	for s := range lastEv {
+		lastEv[s] = -1
+	}
+	counts := make([]int64, ns)
+	ne := db.Events.Len()
+	for e := 0; e < ne; e++ {
+		for _, m := range db.EventMentions(int32(e)) {
+			s := db.Mentions.Source[m]
+			if lastEv[s] != int32(e) {
+				lastEv[s] = int32(e)
+				counts[s]++
+			}
+		}
+	}
+	evs := make([][]int32, ns)
+	for s := 0; s < ns; s++ {
+		evs[s] = make([]int32, 0, counts[s])
+		lastEv[s] = -1
+	}
+	// Repeat events: events a source mentions at least twice. lastRep marks
+	// the second sighting within one event, so each repeat event is appended
+	// exactly once and the lists stay ascending.
+	reps := make([][]int32, ns)
+	lastRep := make([]int32, ns)
+	for s := range lastRep {
+		lastRep[s] = -1
+	}
+	for e := 0; e < ne; e++ {
+		for _, m := range db.EventMentions(int32(e)) {
+			s := db.Mentions.Source[m]
+			if lastEv[s] != int32(e) {
+				lastEv[s] = int32(e)
+				evs[s] = append(evs[s], int32(e))
+			} else if lastRep[s] != int32(e) {
+				lastRep[s] = int32(e)
+				reps[s] = append(reps[s], int32(e))
+			}
+		}
+	}
+	db.srcEvBM = make([]*bitmap.Bitmap, ns)
+	db.srcRepEvBM = make([]*bitmap.Bitmap, ns)
+	for s := 0; s < ns; s++ {
+		db.srcEvBM[s] = bitmap.FromSorted(evs[s])
+		db.srcRepEvBM[s] = bitmap.FromSorted(reps[s])
+	}
+}
+
+// SourceRowBitmap returns the bitmap of mention rows of source s. Read-only;
+// canonical, so AppendTo bytes are deterministic.
+func (db *DB) SourceRowBitmap(s int32) *bitmap.Bitmap { return db.srcRowBM[s] }
+
+// SourceEventBitmap returns the bitmap of event rows source s mentions.
+// Read-only.
+func (db *DB) SourceEventBitmap(s int32) *bitmap.Bitmap { return db.srcEvBM[s] }
+
+// SourceRepeatEventBitmap returns the bitmap of event rows source s mentions
+// two or more times — the events where a source can follow itself. The
+// planner's contributing-events plan for FollowReport needs them: an event
+// contributes only when it holds at least two selected rows, i.e. when two
+// distinct selected sources co-occur or one selected source repeats.
+// Read-only.
+func (db *DB) SourceRepeatEventBitmap(s int32) *bitmap.Bitmap { return db.srcRepEvBM[s] }
+
+// ThemeBitmap returns the bitmap of GKG rows annotated with theme id t.
+// Read-only.
+func (g *GKGStore) ThemeBitmap(t int32) *bitmap.Bitmap { return g.themeBM[t] }
+
+// buildThemeBitmaps derives per-theme row bitmaps from the theme postings.
+func (g *GKGStore) buildThemeBitmaps() {
+	nt := g.Themes.Len()
+	g.themeBM = make([]*bitmap.Bitmap, nt)
+	for t := 0; t < nt; t++ {
+		g.themeBM[t] = bitmap.FromSorted(g.ThemeRows(int32(t)))
+	}
+}

@@ -265,6 +265,8 @@ func (db *DB) buildPostings() {
 		db.byEventIdx[db.byEventPtr[e]+ecur[e]] = int32(i)
 		ecur[e]++
 	}
+
+	db.buildSourceBitmaps()
 }
 
 // buildTypedLUTs widens the int16 remap columns to the int32 lookup tables

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"gdeltmine/internal/bitmap"
 	"gdeltmine/internal/gdelt"
 )
 
@@ -66,6 +67,14 @@ type DB struct {
 	// byEvent[e] lists mention rows of event row e, ascending by interval.
 	byEventPtr []int64
 	byEventIdx []int32
+
+	// Bitmap postings (DESIGN.md §12): per-source roaring bitmaps over
+	// mention rows and event rows, derived from the row-list postings at
+	// assembly time. The planner reads cardinalities from them; the pruned
+	// kernels union them for ascending row extraction.
+	srcRowBM   []*bitmap.Bitmap
+	srcEvBM    []*bitmap.Bitmap
+	srcRepEvBM []*bitmap.Bitmap
 
 	// quarterOfInterval maps a capture interval to a quarter index;
 	// quarterRow[q] is the first mention row of quarter q (mentions are

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gdeltmine/internal/bitmap"
 	"gdeltmine/internal/gdelt"
 )
 
@@ -91,6 +92,10 @@ type GKGStore struct {
 	// themePost[t] lists GKG rows carrying theme t, ascending by interval.
 	themePtr []int64
 	themeIdx []int32
+
+	// themeBM[t] is the roaring bitmap of rows carrying theme t, derived
+	// from the postings (DESIGN.md §12).
+	themeBM []*bitmap.Bitmap
 }
 
 // ThemeRows returns the GKG rows annotated with theme id t.
@@ -116,6 +121,8 @@ func (g *GKGStore) buildThemePostings() {
 			cur[id]++
 		}
 	}
+
+	g.buildThemeBitmaps()
 }
 
 // Validate checks the store's invariants.
