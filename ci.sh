@@ -23,6 +23,14 @@ go test ./internal/baseline -run TestRegistryDifferentialCachedVsUncached -count
 # the remap-and-reduce merge code.
 go test -race ./internal/baseline -run 'TestShardDifferential|TestShardMetamorphic' -count=1
 
+# Qlang differential battery, under the race detector: randomized qlang
+# expressions x 2 seeded worlds x {monolith, K in {1,4}} x workers {1,4} x
+# all three plan modes must agree with an independent naive evaluator —
+# exact for counts, 1e-9 relative for float aggregates — and explain=1
+# must report a plan without executing. Guards the bitmap pushdown path
+# against the closure fallback it replaces (DESIGN.md §13).
+go test -race ./internal/baseline -run 'TestQlangDifferential|TestQlangExplain' -count=1
+
 # Benchmark regression gate: regenerate Table VI on the small preset and
 # compare step timings against the checked-in baseline. The baseline values
 # are deliberately generous and the threshold is 2x, so only an order-of-
@@ -47,6 +55,14 @@ go run ./cmd/gdeltbench -cache-bench \
 go run ./cmd/gdeltbench -kernel-bench -kernel-workers 4 \
   -kernel-json results/kernel_bench.json \
   -kernel-min-typed 2 -kernel-min-pruned 3 -kernel-min-planner 1
+
+# Qlang pushdown benchmark gate: a selective sourcecountry clause (<=5% of
+# rows, chosen from the corpus) must answer >=2x faster through the bitmap
+# rows plan than through the closure scan; both paths are asserted
+# byte-equal before timing. The broad head-country panel rides along
+# informationally. Artifact lands in results/qlang_bench.json.
+go run ./cmd/gdeltbench -qlang-bench -qlang-workers 4 \
+  -qlang-json results/qlang_bench.json -qlang-min-selective 2
 
 # Shard benchmark row (informational): the aggregated country query at K=4
 # shards vs the K=1 monolith on the standard world. The 1.15x ratio limit

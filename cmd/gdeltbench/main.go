@@ -73,6 +73,11 @@ func main() {
 		kernelPruned  = flag.Float64("kernel-min-pruned", 0, "fail when the pruned coreport-16 speedup falls below this factor (0 disables)")
 		kernelPlanner = flag.Float64("kernel-min-planner", 0, "fail when any planner-driven report kernel falls below this speedup vs the closure scan (0 disables)")
 
+		qlangBench   = flag.Bool("qlang-bench", false, "run the qlang pushdown-vs-closure benchmark instead of the paper artifacts")
+		qlangJSON    = flag.String("qlang-json", "", "write qlang benchmark results as JSON to this file")
+		qlangWorkers = flag.Int("qlang-workers", 4, "worker count for the qlang benchmark")
+		qlangMinSel  = flag.Float64("qlang-min-selective", 0, "fail when the selective-panel pushdown speedup falls below this factor (0 disables)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -167,6 +172,12 @@ func main() {
 	}
 	if *kernelBench {
 		if err := runKernelBench(h.ds, *kernelWorkers, *kernelJSON, *kernelTyped, *kernelPruned, *kernelPlanner); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *qlangBench {
+		if err := runQlangBench(h.ds, *qlangWorkers, *qlangJSON, *qlangMinSel); err != nil {
 			log.Fatal(err)
 		}
 		return

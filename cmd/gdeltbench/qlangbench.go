@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gdeltmine"
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/queries"
+)
+
+// qlangBenchResult is one panel's pushdown-vs-closure measurement as written
+// to -qlang-json. Times are milliseconds per run; Speedup is the closure
+// scan time over the bitmap-pushdown time.
+type qlangBenchResult struct {
+	Panel      string  `json:"panel"`
+	Where      string  `json:"where"`
+	Group      string  `json:"group"`
+	Agg        string  `json:"agg"`
+	Workers    int     `json:"workers"`
+	Rows       int     `json:"rows"`
+	MatchShare float64 `json:"match_share"`
+	Path       string  `json:"path"`
+	ClosureMS  float64 `json:"closure_ms"`
+	PushdownMS float64 `json:"pushdown_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// runQlangBench measures qlang predicate pushdown against the closure scan
+// it replaces, on two panel shapes chosen from the loaded corpus:
+//
+//   - selective: a sourcecountry clause matching at most a few percent of
+//     the mention rows, where the planner resolves to the bitmap rows plan.
+//     This is the acceptance panel — minSelective gates its speedup, since
+//     skipping the scan is the whole point of the postings.
+//   - broad: the head country owning the largest share of rows, where row
+//     extraction cannot pay. Informational: it pins the cost of forcing the
+//     rows plan onto the shape the planner would refuse, documenting why
+//     the selectivity threshold exists.
+//
+// Both sides compute the same grouped count and the results are asserted
+// byte-equal before timing, so the benchmark doubles as an end-to-end
+// equivalence check on the dataset it runs on.
+func runQlangBench(ds *gdeltmine.Dataset, workers int, jsonPath string, minSelective float64) error {
+	e := ds.Engine().WithWorkers(workers).WithKind("qlang-bench")
+	db := e.DB()
+	nm := db.Mentions.Len()
+	if nm == 0 {
+		return fmt.Errorf("qlang-bench: empty corpus")
+	}
+
+	// Pick the panels from the source-country postings: the largest country
+	// at or below 5% of rows is the selective shape, the largest overall is
+	// the broad one.
+	const selectiveShare = 0.05
+	selIdx, selCard := -1, int64(0)
+	broadIdx, broadCard := -1, int64(0)
+	for c := range gdelt.Countries {
+		card := db.CountryRowBitmap(c).Cardinality()
+		if card == 0 {
+			continue
+		}
+		if card > broadCard {
+			broadIdx, broadCard = c, card
+		}
+		if float64(card) <= selectiveShare*float64(nm) && card > selCard {
+			selIdx, selCard = c, card
+		}
+	}
+	if broadIdx < 0 {
+		return fmt.Errorf("qlang-bench: no attributed source countries in corpus")
+	}
+	if selIdx < 0 {
+		// Degenerate corpus where every present country is head-sized; fall
+		// back to the smallest present country so the benchmark still runs.
+		for c := range gdelt.Countries {
+			if card := db.CountryRowBitmap(c).Cardinality(); card > 0 && (selIdx < 0 || card < selCard) {
+				selIdx, selCard = c, card
+			}
+		}
+	}
+
+	panels := []struct {
+		name  string
+		where string
+		card  int64
+	}{
+		{"selective", fmt.Sprintf("sourcecountry=%s and delay>2", gdelt.Countries[selIdx].FIPS), selCard},
+		{"broad", fmt.Sprintf("sourcecountry=%s and delay>2", gdelt.Countries[broadIdx].FIPS), broadCard},
+	}
+
+	var results []qlangBenchResult
+	for _, p := range panels {
+		spec, err := queries.ParseAdhocSpec(p.where, "quarter", "count", 0)
+		if err != nil {
+			return fmt.Errorf("qlang-bench: %s: %w", p.name, err)
+		}
+		pushE := e.WithPlan(engine.PlanRows)
+		scanE := e.WithPlan(engine.PlanScan)
+
+		// Equivalence first: a grouped count is exact regardless of worker
+		// scheduling, so the two paths must agree byte-for-byte.
+		pushRes, err := queries.AdhocQuery(pushE, spec)
+		if err != nil {
+			return fmt.Errorf("qlang-bench: %s pushdown: %w", p.name, err)
+		}
+		scanRes, err := queries.AdhocQuery(scanE, spec)
+		if err != nil {
+			return fmt.Errorf("qlang-bench: %s closure: %w", p.name, err)
+		}
+		pushJSON, _ := json.Marshal(pushRes)
+		scanJSON, _ := json.Marshal(scanRes)
+		if string(pushJSON) != string(scanJSON) {
+			return fmt.Errorf("qlang-bench: %s: pushdown result diverges from closure scan:\n%s\nvs\n%s",
+				p.name, pushJSON, scanJSON)
+		}
+
+		r := qlangBenchResult{
+			Panel:      p.name,
+			Where:      spec.Where,
+			Group:      spec.Group,
+			Agg:        spec.Agg.String(),
+			Workers:    workers,
+			Rows:       nm,
+			MatchShare: float64(p.card) / float64(nm),
+			Path:       queries.ExplainAdhoc(pushE, spec).Path,
+		}
+		r.ClosureMS, r.PushdownMS = measurePair(
+			func() {
+				if _, err := queries.AdhocQuery(scanE, spec); err != nil {
+					panic(err)
+				}
+			},
+			func() {
+				if _, err := queries.AdhocQuery(pushE, spec); err != nil {
+					panic(err)
+				}
+			},
+		)
+		if r.PushdownMS > 0 {
+			r.Speedup = r.ClosureMS / r.PushdownMS
+		}
+		results = append(results, r)
+		fmt.Printf("qlang-bench %-10s %-36s share %5.1f%%  closure %9.4fms  pushdown %9.4fms  speedup %6.2fx\n",
+			r.Panel, r.Where, 100*r.MatchShare, r.ClosureMS, r.PushdownMS, r.Speedup)
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+
+	if minSelective > 0 {
+		for _, r := range results {
+			if r.Panel == "selective" && r.Speedup < minSelective {
+				return fmt.Errorf("qlang-bench: selective pushdown speedup %.2fx below required %.1fx", r.Speedup, minSelective)
+			}
+		}
+		fmt.Printf("selective qlang pushdown at or above %.1fx\n", minSelective)
+	}
+	return nil
+}

@@ -92,6 +92,27 @@ func (e *Engine) WithInterval(fromIv, toIv int32) *Engine {
 	return &cp
 }
 
+// WithRowWindow returns a copy of the engine whose mention scans cover the
+// intersection of the current window with rows [lo, hi). The qlang pushdown
+// planner narrows the scan this way after resolving range clauses (interval
+// and quarter comparisons) to a contiguous row span by binary search.
+func (e *Engine) WithRowWindow(lo, hi int) *Engine {
+	curLo, curHi := e.mentionWindow()
+	if lo < curLo {
+		lo = curLo
+	}
+	if hi > curHi {
+		hi = curHi
+	}
+	cp := *e
+	if lo >= hi {
+		cp.rowLo, cp.rowHi = 0, -1 // explicit empty window
+		return &cp
+	}
+	cp.rowLo, cp.rowHi = int64(lo), int64(hi)
+	return &cp
+}
+
 // mentionWindow returns the effective mention-row range of this engine.
 func (e *Engine) mentionWindow() (lo, hi int) {
 	if e.rowHi == 0 && e.rowLo == 0 {

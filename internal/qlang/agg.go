@@ -1,0 +1,91 @@
+package qlang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The group-by/aggregate half of the algebra: a where-expression narrows
+// the mention rows, a group field buckets them by a dictionary-encoded
+// column, and an aggregate reduces each bucket. Parsing is store-free like
+// the where grammar; execution lives in internal/queries (monolith) and
+// internal/shard (fan-out).
+
+// AggKind is the reduction applied per group (or to the whole selection
+// when no group field is given).
+type AggKind int
+
+const (
+	// AggCount counts matching mention rows.
+	AggCount AggKind = iota
+	// AggSum sums a numeric field over matching rows.
+	AggSum
+	// AggMean averages a numeric field over matching rows.
+	AggMean
+)
+
+// Agg is one parsed aggregate spec: "count", "sum:<field>" or
+// "mean:<field>" over a numeric mention field.
+type Agg struct {
+	Kind  AggKind
+	Field string
+}
+
+// aggFields are the numeric fields sum/mean may aggregate.
+var aggFields = map[string]bool{
+	"delay": true, "doclen": true, "tone": true, "confidence": true, "articles": true,
+}
+
+// ParseAgg parses an aggregate spec. The empty string means count.
+func ParseAgg(s string) (Agg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" || s == "count" {
+		return Agg{Kind: AggCount}, nil
+	}
+	name, field, ok := strings.Cut(s, ":")
+	if !ok {
+		return Agg{}, fmt.Errorf("qlang: aggregate %q (want count, sum:<field> or mean:<field>)", s)
+	}
+	var kind AggKind
+	switch name {
+	case "sum":
+		kind = AggSum
+	case "mean":
+		kind = AggMean
+	default:
+		return Agg{}, fmt.Errorf("qlang: aggregate %q (want count, sum:<field> or mean:<field>)", s)
+	}
+	if !aggFields[field] {
+		return Agg{}, fmt.Errorf("qlang: aggregate field %q (want delay, doclen, tone, confidence or articles)", field)
+	}
+	return Agg{Kind: kind, Field: field}, nil
+}
+
+// String renders the spec canonically.
+func (a Agg) String() string {
+	switch a.Kind {
+	case AggSum:
+		return "sum:" + a.Field
+	case AggMean:
+		return "mean:" + a.Field
+	}
+	return "count"
+}
+
+// GroupFields are the dictionary-encoded columns a query may group by.
+var GroupFields = []string{"source", "sourcecountry", "eventcountry", "quarter"}
+
+// ParseGroup validates a group field. The empty string means a scalar
+// (ungrouped) aggregate.
+func ParseGroup(s string) (string, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return "", nil
+	}
+	for _, g := range GroupFields {
+		if s == g {
+			return g, nil
+		}
+	}
+	return "", fmt.Errorf("qlang: group field %q (want source, sourcecountry, eventcountry or quarter)", s)
+}

@@ -1,0 +1,93 @@
+package qlang
+
+import (
+	"testing"
+)
+
+// Canonicalization is what makes qlang expressions safe cache keys: every
+// semantically identical spelling — clause order, "&&" vs "and", "==" vs
+// "=", quoting, case, numeric formatting — must map to one string, and
+// that string must be a fixed point.
+
+func TestCanonicalEquivalentSpellings(t *testing.T) {
+	groups := [][]string{
+		{"tone>5 and delay>2", "delay>2 && tone>5.0", "  DELAY > 2 AND tone > 5 "},
+		{"source=nytimes.com", "source == nytimes.com", "source='nytimes.com'", `source="nytimes.com"`},
+		{"sourcecountry=us", "SourceCountry == US", "sourcecountry='US'", `sourcecountry=="US"`},
+		{"quarter>=2016q3", "quarter >= 2016Q3"},
+		{"doclen<100 and doclen<100", "doclen<100"}, // duplicates collapse
+		{"tone>5 and tone>5.000", "tone>5"},
+		{"articles>=010", "articles>=10"}, // leading zeros normalize
+		{"", "   "},
+	}
+	for _, g := range groups {
+		want := CanonicalExpr(g[0])
+		for _, s := range g[1:] {
+			if got := CanonicalExpr(s); got != want {
+				t.Errorf("CanonicalExpr(%q) = %q, want %q (from %q)", s, got, want, g[0])
+			}
+		}
+		// Fixed point: canonicalizing a canonical form changes nothing.
+		if again := CanonicalExpr(want); again != want {
+			t.Errorf("canonical form %q not a fixed point (got %q)", want, again)
+		}
+	}
+}
+
+func TestCanonicalDistinctExpressions(t *testing.T) {
+	// Different meanings must keep different canonical forms.
+	pairs := [][2]string{
+		{"tone>5", "tone>=5"},
+		{"delay>2", "delay>3"},
+		{"source=a.com", "source=b.com"},
+		{"sourcecountry=US", "eventcountry=US"},
+		{"quarter=2016Q1", "quarter=2016Q2"},
+	}
+	for _, p := range pairs {
+		if CanonicalExpr(p[0]) == CanonicalExpr(p[1]) {
+			t.Errorf("distinct expressions %q and %q collapsed to one canonical form", p[0], p[1])
+		}
+	}
+}
+
+func TestCanonicalExprUnparseablePassthrough(t *testing.T) {
+	for _, s := range []string{"tone>", "bogus=1", "tone>>5", "quarter=20x6Q1"} {
+		if got := CanonicalExpr(s); got != s {
+			t.Errorf("CanonicalExpr(%q) = %q, want unchanged", s, got)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		expr string
+		want []ClauseClass
+	}{
+		{"source=a.com", []ClauseClass{ClassBitmap}},
+		{"sourcecountry=US", []ClauseClass{ClassBitmap}},
+		{"eventcountry=UK", []ClauseClass{ClassBitmap}},
+		{"sourcecountry!=US", []ClauseClass{ClassResidual}},
+		{"interval>=100", []ClauseClass{ClassRange}},
+		{"quarter=2016Q1", []ClauseClass{ClassRange}},
+		{"quarter!=2016Q1", []ClauseClass{ClassResidual}},
+		{"tone>5", []ClauseClass{ClassResidual}},
+		{"doclen<100 and source=a.com and interval<50",
+			[]ClauseClass{ClassResidual, ClassBitmap, ClassRange}},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.expr, err)
+		}
+		for i, cl := range e.Clauses {
+			if got := Classify(cl); got != c.want[i] {
+				t.Errorf("Classify(%q clause %d) = %d, want %d", c.expr, i, got, c.want[i])
+			}
+		}
+		bm, rng, res := Split(e.Clauses)
+		if len(bm)+len(rng)+len(res) != len(e.Clauses) {
+			t.Errorf("Split(%q) lost clauses: %d+%d+%d != %d",
+				c.expr, len(bm), len(rng), len(res), len(e.Clauses))
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package qlang
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// parseFuzzSeeds are the grammar's interesting corners: every field and
+// operator, both conjunction spellings, quoting, unicode, and a batch of
+// near-miss malformed inputs.
+func parseFuzzSeeds() []string {
+	return []string{
+		"",
+		"tone>5",
+		"delay >= 2 and doclen < 100",
+		"source=nytimes.com && sourcecountry=US",
+		"eventcountry != UK",
+		"quarter>=2016Q3 and quarter<=2017Q1",
+		"interval>100 and interval<=2000",
+		"confidence=100 and articles>3",
+		"source='spaced domain.com'",
+		"source=''",
+		"tone>-2.5e1",
+		"tone>",
+		"and and and",
+		"source==a.com",
+		"quarter=9999999999Q9",
+		"articles>=9223372036854775807",
+		"articles>9223372036854775808",
+		`source="double quoted.com"`,
+		`source="unterminated`,
+		"source='unterminated",
+		"tone>>5",
+		"&& tone>5",
+		"source=é.com",
+		"SOURCE = A.COM AND Tone > 0",
+	}
+}
+
+// FuzzParse pins the parser/canonicalizer contract on arbitrary input:
+// Parse never panics; when it accepts, the canonical form reparses to the
+// same canonical form (idempotence), clause count survives the round trip,
+// and classification is stable across the round trip — the properties the
+// result cache and the pushdown planner lean on. The checked-in corpus
+// under testdata/fuzz/FuzzParse replays on every plain `go test` run.
+func FuzzParse(f *testing.F) {
+	for _, s := range parseFuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		e, err := Parse(expr)
+		if err != nil {
+			return // rejected input; the contract is only "no panic"
+		}
+		canon := e.Canonical()
+		e2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, expr, err)
+		}
+		if again := e2.Canonical(); again != canon {
+			t.Fatalf("canonicalization not idempotent: %q -> %q -> %q", expr, canon, again)
+		}
+		// Canonicalization may collapse duplicate clauses but never invent
+		// or lose distinct ones.
+		if len(e2.Clauses) > len(e.Clauses) {
+			t.Fatalf("round trip grew clauses: %d -> %d (%q)", len(e.Clauses), len(e2.Clauses), expr)
+		}
+		bm1, rng1, res1 := Split(e.Clauses)
+		bm2, rng2, res2 := Split(e2.Clauses)
+		if len(bm2) > len(bm1) || len(rng2) > len(rng1) || len(res2) > len(res1) {
+			t.Fatalf("round trip changed pushdown classes: (%d,%d,%d) -> (%d,%d,%d) for %q",
+				len(bm1), len(rng1), len(res1), len(bm2), len(rng2), len(res2), expr)
+		}
+	})
+}
+
+// TestWriteParseFuzzSeedCorpus regenerates the checked-in seed corpus when
+// GDELT_UPDATE_FUZZ_CORPUS=1 is set — the same pattern as the manifest
+// decoder's corpus.
+func TestWriteParseFuzzSeedCorpus(t *testing.T) {
+	if os.Getenv("GDELT_UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set GDELT_UPDATE_FUZZ_CORPUS=1 to regenerate the corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzParse")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range parseFuzzSeeds() {
+		content := "go test fuzz v1\nstring(" + strconv.Quote(s) + ")\n"
+		name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,7 +1,12 @@
-// Package qlang implements the user-defined query filter language of the
-// query execution engine: conjunctions of typed field comparisons compiled
-// to a per-row predicate over the columnar store. It gives CLI and HTTP
-// users ad-hoc filtering ("sourcecountry=UK and delay>96 and
+// Package qlang implements the user-defined query language of the query
+// execution engine: conjunctions of typed field comparisons, parsed into a
+// small composable algebra (ast.go) with an optional group-by/aggregate
+// spec (agg.go). An expression canonicalizes to a stable string for result
+// caching, classifies statically into index-answerable and residual
+// clauses for predicate pushdown (plan.go), and binds against a store into
+// a per-row closure filter — the fallback evaluation path, and the
+// reference the pushdown plans are differentially tested against. It gives
+// CLI and HTTP users ad-hoc filtering ("sourcecountry=UK and delay>96 and
 // quarter>=2016Q1") without writing Go.
 //
 // Grammar (conjunction-only; AND may be written "and" or "&&"):
@@ -27,8 +32,6 @@ package qlang
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/store"
@@ -52,15 +55,27 @@ var opNames = map[string]Op{
 }
 
 func (o Op) String() string {
-	for s, op := range opNames {
-		if op == o && s != "==" {
-			return s
-		}
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
 	}
 	return "?"
 }
 
-// Filter is a compiled predicate over mention rows of one DB.
+// Filter is a compiled predicate over mention rows of one DB — the
+// closure-evaluation path. The pushdown planner binds only the residual
+// (non-indexed) clauses of an expression this way; Compile binds all of
+// them, which is the reference behavior differential tests pin plans to.
 type Filter struct {
 	db    *store.DB
 	preds []func(row int) bool
@@ -70,8 +85,12 @@ type Filter struct {
 // Expr returns the source expression.
 func (f *Filter) Expr() string { return f.expr }
 
-// Match reports whether mention row satisfies every clause.
+// Match reports whether mention row satisfies every clause. A nil Filter
+// matches every row, so "no residual clauses" needs no special casing.
 func (f *Filter) Match(row int) bool {
+	if f == nil {
+		return true
+	}
 	for _, p := range f.preds {
 		if !p(row) {
 			return false
@@ -86,29 +105,20 @@ func (f *Filter) Clauses() int { return len(f.preds) }
 // Compile parses and compiles expr against db. An empty expression compiles
 // to the match-everything filter.
 func Compile(db *store.DB, expr string) (*Filter, error) {
-	f := &Filter{db: db, expr: expr}
-	toks, err := lex(expr)
+	e, err := Parse(expr)
 	if err != nil {
 		return nil, err
 	}
-	pos := 0
-	for pos < len(toks) {
-		if toks[pos].kind == tokAnd {
-			pos++
-			continue
-		}
-		if pos+3 > len(toks) {
-			return nil, fmt.Errorf("qlang: incomplete clause at %q", remainder(toks[pos:]))
-		}
-		field, op, val := toks[pos], toks[pos+1], toks[pos+2]
-		pos += 3
-		if field.kind != tokWord {
-			return nil, fmt.Errorf("qlang: expected field name, got %q", field.text)
-		}
-		if op.kind != tokOp {
-			return nil, fmt.Errorf("qlang: expected operator after %q, got %q", field.text, op.text)
-		}
-		pred, err := f.compileClause(strings.ToLower(field.text), opNames[op.text], val)
+	return Bind(db, e.Clauses, expr)
+}
+
+// Bind compiles an already-parsed clause list against db, labelling the
+// filter with expr. The pushdown planner uses it to bind just the residual
+// clauses of an expression whose indexed clauses a bitmap plan answers.
+func Bind(db *store.DB, clauses []Clause, expr string) (*Filter, error) {
+	f := &Filter{db: db, expr: expr}
+	for _, c := range clauses {
+		pred, err := bindClause(db, c)
 		if err != nil {
 			return nil, err
 		}
@@ -117,63 +127,50 @@ func Compile(db *store.DB, expr string) (*Filter, error) {
 	return f, nil
 }
 
-func remainder(toks []token) string {
-	parts := make([]string, len(toks))
-	for i, t := range toks {
-		parts[i] = t.text
-	}
-	return strings.Join(parts, " ")
+// QuarterIndex converts a parsed quarter clause's absolute quarter into
+// db's quarter index (possibly out of range: a quarter outside the archive
+// matches no row under =, every row under an always-true inequality).
+func QuarterIndex(db *store.DB, v Value) int {
+	baseAbs := db.Meta.Start.Year()*4 + (db.Meta.Start.Month()-1)/3
+	return int(v.Int) - baseAbs
 }
 
-// compileClause resolves the field and builds a closure over the columns.
-func (f *Filter) compileClause(field string, op Op, val token) (func(row int) bool, error) {
-	db := f.db
-	switch field {
+// bindClause resolves the field and builds a closure over the columns. The
+// clause arrives type-checked by Parse, so value conversions cannot fail;
+// only store-dependent resolution happens here.
+func bindClause(db *store.DB, c Clause) (func(row int) bool, error) {
+	op, v := c.Op, c.Value
+	switch c.Field {
 	case "delay":
-		return intClause(op, val, func(row int) int64 { return int64(db.Mentions.Delay[row]) })
+		return intPred(op, v.Int, func(row int) int64 { return int64(db.Mentions.Delay[row]) }), nil
 	case "interval":
-		return intClause(op, val, func(row int) int64 { return int64(db.Mentions.Interval[row]) })
+		return intPred(op, v.Int, func(row int) int64 { return int64(db.Mentions.Interval[row]) }), nil
 	case "doclen":
-		return intClause(op, val, func(row int) int64 { return int64(db.Mentions.DocLen[row]) })
+		return intPred(op, v.Int, func(row int) int64 { return int64(db.Mentions.DocLen[row]) }), nil
 	case "confidence":
-		return intClause(op, val, func(row int) int64 { return int64(db.Mentions.Confidence[row]) })
+		return intPred(op, v.Int, func(row int) int64 { return int64(db.Mentions.Confidence[row]) }), nil
 	case "articles":
-		return intClause(op, val, func(row int) int64 {
+		return intPred(op, v.Int, func(row int) int64 {
 			return int64(db.Events.NumArticles[db.Mentions.EventRow[row]])
-		})
+		}), nil
 	case "tone":
-		fv, err := strconv.ParseFloat(val.text, 64)
-		if err != nil {
-			return nil, fmt.Errorf("qlang: tone needs a number, got %q", val.text)
-		}
-		return floatClause(op, fv, func(row int) float64 { return float64(db.Mentions.Tone[row]) })
+		fv := v.Float
+		return func(row int) bool { return cmpFloat(float64(db.Mentions.Tone[row]), fv, op) }, nil
 	case "quarter":
-		q, err := parseQuarter(db, val.text)
-		if err != nil {
-			return nil, err
-		}
-		return intClause(op, token{kind: tokNumber, text: strconv.Itoa(q)},
-			func(row int) int64 { return int64(db.QuarterOfInterval(db.Mentions.Interval[row])) })
+		q := int64(QuarterIndex(db, v))
+		return intPred(op, q, func(row int) int64 {
+			return int64(db.QuarterOfInterval(db.Mentions.Interval[row]))
+		}), nil
 	case "source":
-		if op != OpEq && op != OpNe {
-			return nil, fmt.Errorf("qlang: source supports = and != only")
-		}
-		id := db.Sources.Lookup(val.text)
+		id := db.Sources.Lookup(v.Str)
 		eq := op == OpEq
 		return func(row int) bool {
 			return (db.Mentions.Source[row] == id) == eq
 		}, nil
 	case "sourcecountry", "eventcountry":
-		if op != OpEq && op != OpNe {
-			return nil, fmt.Errorf("qlang: %s supports = and != only", field)
-		}
-		ci := gdelt.CountryIndex(strings.ToUpper(val.text))
-		if ci < 0 {
-			return nil, fmt.Errorf("qlang: unknown country code %q", val.text)
-		}
-		want := int16(ci)
+		want := int16(gdelt.CountryIndex(v.Str))
 		eq := op == OpEq
-		if field == "sourcecountry" {
+		if c.Field == "sourcecountry" {
 			return func(row int) bool {
 				return (db.SourceCountry[db.Mentions.Source[row]] == want) == eq
 			}, nil
@@ -182,19 +179,11 @@ func (f *Filter) compileClause(field string, op Op, val token) (func(row int) bo
 			return (db.Events.Country[db.Mentions.EventRow[row]] == want) == eq
 		}, nil
 	}
-	return nil, fmt.Errorf("qlang: unknown field %q", field)
+	return nil, fmt.Errorf("qlang: unknown field %q", c.Field)
 }
 
-func intClause(op Op, val token, get func(row int) int64) (func(row int) bool, error) {
-	v, err := strconv.ParseInt(val.text, 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("qlang: expected an integer, got %q", val.text)
-	}
-	return func(row int) bool { return cmpInt(get(row), v, op) }, nil
-}
-
-func floatClause(op Op, v float64, get func(row int) float64) (func(row int) bool, error) {
-	return func(row int) bool { return cmpFloat(get(row), v, op) }, nil
+func intPred(op Op, v int64, get func(row int) int64) func(row int) bool {
+	return func(row int) bool { return cmpInt(get(row), v, op) }
 }
 
 func cmpInt(a, b int64, op Op) bool {
@@ -229,86 +218,4 @@ func cmpFloat(a, b float64, op Op) bool {
 	default:
 		return a >= b
 	}
-}
-
-// parseQuarter converts "2016Q3" to the DB's quarter index.
-func parseQuarter(db *store.DB, s string) (int, error) {
-	su := strings.ToUpper(s)
-	i := strings.IndexByte(su, 'Q')
-	if i < 0 {
-		return 0, fmt.Errorf("qlang: quarter literal %q (want e.g. 2016Q3)", s)
-	}
-	year, err1 := strconv.Atoi(su[:i])
-	qq, err2 := strconv.Atoi(su[i+1:])
-	if err1 != nil || err2 != nil || qq < 1 || qq > 4 {
-		return 0, fmt.Errorf("qlang: quarter literal %q (want e.g. 2016Q3)", s)
-	}
-	baseY := db.Meta.Start.Year()
-	baseQ := (db.Meta.Start.Month()-1)/3 + 1
-	return (year-baseY)*4 + (qq - baseQ), nil
-}
-
-// --- lexer ---
-
-type tokKind int
-
-const (
-	tokWord tokKind = iota
-	tokOp
-	tokNumber
-	tokAnd
-)
-
-type token struct {
-	kind tokKind
-	text string
-}
-
-func lex(expr string) ([]token, error) {
-	var out []token
-	i := 0
-	for i < len(expr) {
-		c := expr[i]
-		switch {
-		case c == ' ' || c == '\t' || c == '\n':
-			i++
-		case c == '=' || c == '!' || c == '<' || c == '>':
-			j := i + 1
-			if j < len(expr) && expr[j] == '=' {
-				j++
-			}
-			op := expr[i:j]
-			if _, ok := opNames[op]; !ok {
-				return nil, fmt.Errorf("qlang: bad operator %q", op)
-			}
-			out = append(out, token{tokOp, op})
-			i = j
-		case c == '&':
-			if i+1 >= len(expr) || expr[i+1] != '&' {
-				return nil, fmt.Errorf("qlang: bad operator %q", "&")
-			}
-			out = append(out, token{tokAnd, "&&"})
-			i += 2
-		case c == '\'':
-			j := strings.IndexByte(expr[i+1:], '\'')
-			if j < 0 {
-				return nil, fmt.Errorf("qlang: unterminated string at %q", expr[i:])
-			}
-			out = append(out, token{tokWord, expr[i+1 : i+1+j]})
-			i += j + 2
-		default:
-			j := i
-			for j < len(expr) && !strings.ContainsRune(" \t\n=!<>&'", rune(expr[j])) {
-				j++
-			}
-			word := expr[i:j]
-			if strings.EqualFold(word, "and") {
-				out = append(out, token{tokAnd, word})
-			} else {
-				out = append(out, token{tokWord, word})
-			}
-			i = j
-		}
-	}
-	return out, nil
 }

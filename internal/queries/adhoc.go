@@ -1,0 +1,659 @@
+package queries
+
+import (
+	"math"
+
+	"gdeltmine/internal/bitmap"
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/obs"
+	"gdeltmine/internal/qlang"
+	"gdeltmine/internal/store"
+)
+
+// Ad-hoc query execution (DESIGN.md §13): the generic evaluator behind
+// /api/v1/query. A parsed qlang expression plus an optional group/aggregate
+// spec lowers onto the typed kernels through a pushdown planner:
+//
+//   - bitmap clauses (equalities on source, sourcecountry, eventcountry)
+//     intersect precomputed roaring row bitmaps; when the estimated
+//     selectivity is at or below engine.RowsPlanThreshold the plan
+//     materializes the intersection and runs row-list kernels over exactly
+//     the surviving rows.
+//   - range clauses (interval/quarter comparisons) narrow the engine's
+//     mention window by binary search — free regardless of selectivity.
+//   - residual clauses (tone, doclen, confidence, delay, articles, any !=)
+//     bind to the closure evaluator and run only over the rows the indexed
+//     clauses let through.
+//
+// Every path produces bit-identical integer results (the differential
+// battery in internal/baseline pins pushdown ≡ closure ≡ raw rescan), so
+// the plan choice is excluded from cache keys, exactly like the selection
+// planner's.
+
+// DefaultAdhocK is the row limit applied to grouped results when the
+// request does not set k.
+const DefaultAdhocK = 20
+
+// AdhocSpec is one parsed ad-hoc query: a where-conjunction, an optional
+// group field, and an aggregate. Where holds the canonical rendering of
+// the expression — the string result caches key on.
+type AdhocSpec struct {
+	Expr  qlang.Expr
+	Where string
+	Group string
+	Agg   qlang.Agg
+	K     int
+}
+
+// ParseAdhocSpec validates and canonicalizes the raw request parameters.
+// k defaults to DefaultAdhocK when unset; it only applies to grouped
+// results.
+func ParseAdhocSpec(where, group, agg string, k int) (AdhocSpec, error) {
+	e, err := qlang.Parse(where)
+	if err != nil {
+		return AdhocSpec{}, err
+	}
+	g, err := qlang.ParseGroup(group)
+	if err != nil {
+		return AdhocSpec{}, err
+	}
+	a, err := qlang.ParseAgg(agg)
+	if err != nil {
+		return AdhocSpec{}, err
+	}
+	if k < 1 {
+		k = DefaultAdhocK
+	}
+	return AdhocSpec{Expr: *e, Where: e.Canonical(), Group: g, Agg: a, K: k}, nil
+}
+
+// AdhocPlan is the explain output: the resolved physical plan for a spec,
+// reported without executing it. Estimates, not measurements.
+type AdhocPlan struct {
+	Where       string   `json:"where"`
+	Group       string   `json:"group,omitempty"`
+	Agg         string   `json:"agg"`
+	K           int      `json:"k,omitempty"`
+	Path        string   `json:"path"`
+	Kernel      string   `json:"kernel"`
+	Pushdown    []string `json:"pushdown,omitempty"`
+	Fallback    []string `json:"fallback,omitempty"`
+	EstRows     int64    `json:"est_rows"`
+	WindowRows  int64    `json:"window_rows"`
+	Selectivity float64  `json:"selectivity"`
+}
+
+// adhocPlans counts resolved ad-hoc plans by path, one counter per value —
+// the qlang analogue of planner_choice_total.
+var adhocPlans = map[string]*obs.Counter{
+	"pushdown": obs.Default.Counter("qlang_plan_total",
+		"ad-hoc qlang plans resolved by the pushdown planner", obs.L("path", "pushdown")),
+	"range": obs.Default.Counter("qlang_plan_total",
+		"ad-hoc qlang plans resolved by the pushdown planner", obs.L("path", "range")),
+	"scan": obs.Default.Counter("qlang_plan_total",
+		"ad-hoc qlang plans resolved by the pushdown planner", obs.L("path", "scan")),
+}
+
+// adhocResolution is the outcome of planning one spec against one engine
+// view: the chosen path, the (possibly range-narrowed) engine, the bitmaps
+// to intersect under pushdown, and the clauses left to the closure
+// evaluator.
+type adhocResolution struct {
+	path       string // "pushdown", "range" or "scan"
+	eng        *engine.Engine
+	bms        []*bitmap.Bitmap
+	pushdown   []qlang.Clause
+	residual   []qlang.Clause
+	estRows    int64
+	windowRows int64
+}
+
+// resolveAdhoc plans a spec against an engine view. Forced plan modes map
+// onto the ad-hoc paths: PlanScan runs every clause as a closure over the
+// original window (the honest baseline), PlanRows forces bitmap pushdown
+// whenever a bitmap clause exists, and PlanAuto (or PlanEvents, which has
+// no ad-hoc meaning) estimates selectivity from bitmap cardinalities and
+// pushes down at or below engine.RowsPlanThreshold.
+func resolveAdhoc(e *engine.Engine, spec AdhocSpec) adhocResolution {
+	db := e.DB()
+	r := adhocResolution{windowRows: int64(e.WindowSize())}
+	if e.Plan() == engine.PlanScan {
+		r.path, r.eng = "scan", e
+		r.residual = spec.Expr.Clauses
+		r.estRows = r.windowRows
+		return r
+	}
+	bm, rng, residual := qlang.Split(spec.Expr.Clauses)
+	ne := e
+	for _, c := range rng {
+		lo, hi := rangeClauseRows(db, c)
+		ne = ne.WithRowWindow(lo, hi)
+	}
+	r.eng = ne
+	r.pushdown, r.residual = rng, residual
+	r.estRows = int64(ne.WindowSize())
+	if len(bm) == 0 {
+		if len(rng) > 0 {
+			r.path = "range"
+		} else {
+			r.path = "scan"
+		}
+		return r
+	}
+	// The intersection can only shrink the smallest operand, so the
+	// smallest cardinality (an O(containers) register sum) bounds the rows
+	// the pushdown plan touches.
+	bms := make([]*bitmap.Bitmap, len(bm))
+	minCard := int64(-1)
+	for i, c := range bm {
+		bms[i] = clauseBitmap(db, c)
+		if card := bms[i].Cardinality(); minCard < 0 || card < minCard {
+			minCard = card
+		}
+	}
+	if minCard < r.estRows {
+		r.estRows = minCard
+	}
+	sel := 0.0
+	if r.windowRows > 0 {
+		sel = float64(r.estRows) / float64(r.windowRows)
+	}
+	if e.Plan() == engine.PlanRows || sel <= engine.RowsPlanThreshold {
+		r.path = "pushdown"
+		r.bms = bms
+		r.pushdown = append(append([]qlang.Clause{}, bm...), rng...)
+	} else {
+		// Too dense to be worth materializing: keep the free range
+		// narrowing, demote the bitmap clauses to the closure evaluator.
+		r.path = "range"
+		if len(rng) == 0 {
+			r.path = "scan"
+		}
+		r.residual = append(append([]qlang.Clause{}, residual...), bm...)
+	}
+	return r
+}
+
+// rangeClauseRows maps one range clause to the half-open mention row span
+// it admits, clamped to the archive. Out-of-archive literals resolve to an
+// empty or full span exactly as the closure evaluator would.
+func rangeClauseRows(db *store.DB, c qlang.Clause) (lo, hi int) {
+	switch c.Field {
+	case "interval":
+		v := c.Value.Int
+		switch c.Op {
+		case qlang.OpEq:
+			return intervalRows(db, v, incSat(v))
+		case qlang.OpLt:
+			return intervalRows(db, math.MinInt64, v)
+		case qlang.OpLe:
+			return intervalRows(db, math.MinInt64, incSat(v))
+		case qlang.OpGt:
+			return intervalRows(db, incSat(v), math.MaxInt64)
+		case qlang.OpGe:
+			return intervalRows(db, v, math.MaxInt64)
+		}
+	case "quarter":
+		q := qlang.QuarterIndex(db, c.Value)
+		switch c.Op {
+		case qlang.OpEq:
+			return quarterRows(db, q, q+1)
+		case qlang.OpLt:
+			return quarterRows(db, 0, q)
+		case qlang.OpLe:
+			return quarterRows(db, 0, q+1)
+		case qlang.OpGt:
+			return quarterRows(db, q+1, db.NumQuarters())
+		case qlang.OpGe:
+			return quarterRows(db, q, db.NumQuarters())
+		}
+	}
+	return 0, db.Mentions.Len()
+}
+
+func incSat(v int64) int64 {
+	if v == math.MaxInt64 {
+		return v
+	}
+	return v + 1
+}
+
+// intervalRows clamps an interval span to the archive and binary-searches
+// its mention row range.
+func intervalRows(db *store.DB, fromIv, toIv int64) (lo, hi int) {
+	n := int64(db.Meta.Intervals)
+	if fromIv < 0 {
+		fromIv = 0
+	}
+	if fromIv > n {
+		fromIv = n
+	}
+	if toIv < fromIv {
+		toIv = fromIv
+	}
+	if toIv > n {
+		toIv = n
+	}
+	l, h := db.MentionRowRange(int32(fromIv), int32(toIv))
+	return int(l), int(h)
+}
+
+// quarterRows maps a quarter span to its mention row range via the quarter
+// index. Quarters outside the archive clamp to an empty span on the near
+// edge.
+func quarterRows(db *store.DB, fromQ, toQ int) (lo, hi int) {
+	start := func(q int) int64 {
+		if q <= 0 {
+			return 0
+		}
+		if q >= db.NumQuarters() {
+			return int64(db.Mentions.Len())
+		}
+		l, _ := db.QuarterMentionRange(q)
+		return l
+	}
+	l, h := start(fromQ), start(toQ)
+	if h < l {
+		h = l
+	}
+	return int(l), int(h)
+}
+
+// clauseBitmap resolves one bitmap clause to its precomputed row bitmap. A
+// literal absent from the store (unseen source) yields an empty bitmap —
+// the same "matches nothing" the closure evaluator produces.
+func clauseBitmap(db *store.DB, c qlang.Clause) *bitmap.Bitmap {
+	switch c.Field {
+	case "source":
+		if id := db.Sources.Lookup(c.Value.Str); id >= 0 {
+			return db.SourceRowBitmap(id)
+		}
+		return bitmap.New()
+	case "sourcecountry":
+		return db.CountryRowBitmap(gdelt.CountryIndex(c.Value.Str))
+	default: // eventcountry; Classify admits no other field
+		return db.EventCountryRowBitmap(gdelt.CountryIndex(c.Value.Str))
+	}
+}
+
+// kernel names the aggregation kernel the resolved plan will run, for the
+// explain output.
+func (r *adhocResolution) kernel(spec AdhocSpec) string {
+	grouped := spec.Group != ""
+	hasResidual := len(r.residual) > 0
+	count := spec.Agg.Kind == qlang.AggCount
+	if r.path == "pushdown" {
+		switch {
+		case grouped && count && !hasResidual:
+			return "GroupCountRows"
+		case !grouped && count && !hasResidual:
+			return "RowCount"
+		default:
+			return "ScanRows"
+		}
+	}
+	switch {
+	case grouped && count && !hasResidual:
+		return "GroupCountCol"
+	case grouped && count:
+		return "GroupCount"
+	case grouped:
+		return "GroupCount+SumByGroup"
+	case count && !hasResidual:
+		return "WindowSize"
+	case count:
+		return "CountMentions"
+	default:
+		return "CountMentions+SumByGroup"
+	}
+}
+
+// plan renders the resolution as the explain structure.
+func (r *adhocResolution) plan(spec AdhocSpec) AdhocPlan {
+	p := AdhocPlan{
+		Where: spec.Where, Group: spec.Group, Agg: spec.Agg.String(),
+		Path: r.path, Kernel: r.kernel(spec),
+		EstRows: r.estRows, WindowRows: r.windowRows,
+	}
+	if spec.Group != "" {
+		p.K = spec.K
+	}
+	for _, c := range r.pushdown {
+		p.Pushdown = append(p.Pushdown, c.String())
+	}
+	for _, c := range r.residual {
+		p.Fallback = append(p.Fallback, c.String())
+	}
+	if r.windowRows > 0 {
+		p.Selectivity = float64(r.estRows) / float64(r.windowRows)
+	}
+	return p
+}
+
+// ExplainAdhoc plans a spec without executing it.
+func ExplainAdhoc(e *engine.Engine, spec AdhocSpec) AdhocPlan {
+	r := resolveAdhoc(e, spec)
+	return r.plan(spec)
+}
+
+// MergeAdhocPlans folds per-shard explains into one: estimates sum, and
+// when the shards agree on a path the merged plan reports it; shards that
+// disagree (their local selectivities straddle the threshold) report
+// "mixed". Shards plan independently at execution time, so the merged
+// explain is a summary, not a promise of a single physical plan.
+func MergeAdhocPlans(spec AdhocSpec, plans []AdhocPlan) AdhocPlan {
+	if len(plans) == 0 {
+		return AdhocPlan{Where: spec.Where, Group: spec.Group, Agg: spec.Agg.String()}
+	}
+	out := plans[0]
+	out.EstRows, out.WindowRows, out.Selectivity = 0, 0, 0
+	for _, p := range plans {
+		out.EstRows += p.EstRows
+		out.WindowRows += p.WindowRows
+		if p.Path != out.Path {
+			out.Path, out.Kernel = "mixed", "per-shard"
+		}
+	}
+	if out.WindowRows > 0 {
+		out.Selectivity = float64(out.EstRows) / float64(out.WindowRows)
+	}
+	return out
+}
+
+// GroupSpec describes the dictionary-encoded grouping column of one DB:
+// group id = Remap[Col[row]] (or Col[row] when Remap is nil), ids outside
+// [0, N) dropped. The sharded view passes global-width specs (l2gSrc for
+// source grouping); the monolith uses AdhocGroupSpec.
+type GroupSpec struct {
+	N     int
+	Col   []int32
+	Remap []int32
+}
+
+// AdhocGroupSpec returns the grouping column spec for a group field
+// against a monolithic DB. The zero GroupSpec means no grouping.
+func AdhocGroupSpec(db *store.DB, group string) GroupSpec {
+	switch group {
+	case "source":
+		return GroupSpec{N: db.Sources.Len(), Col: db.Mentions.Source}
+	case "sourcecountry":
+		return GroupSpec{N: len(gdelt.Countries), Col: db.Mentions.Source, Remap: db.SourceCountryLUT()}
+	case "eventcountry":
+		return GroupSpec{N: len(gdelt.Countries), Col: db.Mentions.EventRow, Remap: db.EventCountryLUT()}
+	case "quarter":
+		return GroupSpec{N: db.NumQuarters(), Col: db.Mentions.Interval, Remap: db.QuarterLUT()}
+	}
+	return GroupSpec{}
+}
+
+// AdhocVec is the raw aggregation output of one engine view: the matched
+// row count, the scalar sum (sum/mean aggregates), and — when grouped —
+// the per-group vectors. Integer counts are exact; sums are float64 and
+// exact for the integer-valued fields (delay, doclen, confidence,
+// articles) below 2^53.
+type AdhocVec struct {
+	Count  int64
+	Sum    float64
+	Counts []int64
+	Sums   []float64
+}
+
+// AdhocVectors plans and executes a spec against one engine view,
+// returning raw vectors for the caller to shape (or, sharded, to merge).
+// The resolved path is recorded in qlang_plan_total{path=...}.
+func AdhocVectors(e *engine.Engine, spec AdhocSpec, g GroupSpec) (AdhocVec, error) {
+	r := resolveAdhoc(e, spec)
+	if c := adhocPlans[r.path]; c != nil {
+		c.Inc()
+	}
+	var residual *qlang.Filter
+	if len(r.residual) > 0 {
+		f, err := qlang.Bind(e.DB(), r.residual, spec.Where)
+		if err != nil {
+			return AdhocVec{}, err
+		}
+		residual = f
+	}
+	if r.path == "pushdown" {
+		return adhocRows(r.eng, spec, g, r.materialize(), residual), nil
+	}
+	return adhocWindow(r.eng, spec, g, residual), nil
+}
+
+// materialize intersects the pushdown bitmaps and clips the ascending row
+// list to the (range-narrowed) window.
+func (r *adhocResolution) materialize() []int32 {
+	bm := r.bms[0]
+	for _, b := range r.bms[1:] {
+		bm = bitmap.Intersect(bm, b)
+	}
+	rows := bm.AppendRows(make([]int32, 0, bm.Cardinality()))
+	return r.eng.ClipRows(rows)
+}
+
+// adhocAcc is the generic ScanRows accumulator for pushdown aggregation
+// with residual clauses or value aggregates.
+type adhocAcc struct {
+	count  int64
+	sum    float64
+	counts []int64
+	sums   []float64
+}
+
+// adhocRows aggregates over a materialized row list. The no-residual count
+// cases take the typed fast paths; everything else runs the generic
+// row-list scan.
+func adhocRows(e *engine.Engine, spec AdhocSpec, g GroupSpec, rows []int32, residual *qlang.Filter) AdhocVec {
+	domain := e.WindowSize()
+	grouped := spec.Group != ""
+	if spec.Agg.Kind == qlang.AggCount && residual == nil {
+		vec := AdhocVec{Count: int64(len(rows))}
+		if grouped {
+			vec.Counts = e.GroupCountRows(g.N, rows, domain, g.Col, g.Remap)
+		}
+		return vec
+	}
+	val := adhocValue(e.DB(), spec.Agg.Field)
+	res := engine.ScanRows(e, rows, domain,
+		func() *adhocAcc {
+			a := &adhocAcc{}
+			if grouped {
+				a.counts = make([]int64, g.N)
+				if val != nil {
+					a.sums = make([]float64, g.N)
+				}
+			}
+			return a
+		},
+		func(a *adhocAcc, seg []int32) *adhocAcc {
+			for _, row := range seg {
+				if !residual.Match(int(row)) {
+					continue
+				}
+				a.count++
+				var v float64
+				if val != nil {
+					v = val(int(row))
+					a.sum += v
+				}
+				if grouped {
+					gid := int(g.Col[row])
+					if g.Remap != nil {
+						gid = int(g.Remap[gid])
+					}
+					if gid >= 0 && gid < g.N {
+						a.counts[gid]++
+						if val != nil {
+							a.sums[gid] += v
+						}
+					}
+				}
+			}
+			return a
+		},
+		func(dst, src *adhocAcc) *adhocAcc {
+			dst.count += src.count
+			dst.sum += src.sum
+			for i, c := range src.counts {
+				dst.counts[i] += c
+			}
+			for i, s := range src.sums {
+				dst.sums[i] += s
+			}
+			return dst
+		},
+	)
+	return AdhocVec{Count: res.count, Sum: res.sum, Counts: res.counts, Sums: res.sums}
+}
+
+// adhocWindow aggregates over the engine window — the range and scan
+// paths. Typed kernels handle the no-residual counts; residual clauses and
+// value aggregates go through the closure kernels.
+func adhocWindow(e *engine.Engine, spec AdhocSpec, g GroupSpec, residual *qlang.Filter) AdhocVec {
+	grouped := spec.Group != ""
+	val := adhocValue(e.DB(), spec.Agg.Field)
+	groupOf := func(row int) int {
+		gid := int(g.Col[row])
+		if g.Remap != nil {
+			gid = int(g.Remap[gid])
+		}
+		return gid
+	}
+	var vec AdhocVec
+	if residual == nil {
+		vec.Count = int64(e.WindowSize())
+		if grouped {
+			vec.Counts = e.GroupCountCol(g.N, g.Col, g.Remap)
+		}
+	} else {
+		vec.Count = e.CountMentions(residual.Match)
+		if grouped {
+			vec.Counts = e.GroupCount(g.N, func(row int) int {
+				if !residual.Match(row) {
+					return -1
+				}
+				return groupOf(row)
+			})
+		}
+	}
+	if val != nil {
+		if grouped {
+			vec.Sums = e.SumByGroup(g.N, func(row int) (int, float64) {
+				if !residual.Match(row) {
+					return -1, 0
+				}
+				return groupOf(row), val(row)
+			})
+		} else {
+			s := e.SumByGroup(1, func(row int) (int, float64) {
+				if !residual.Match(row) {
+					return -1, 0
+				}
+				return 0, val(row)
+			})
+			vec.Sum = s[0]
+		}
+	}
+	return vec
+}
+
+// adhocValue returns the per-row value accessor of an aggregate field, or
+// nil for count.
+func adhocValue(db *store.DB, field string) func(row int) float64 {
+	switch field {
+	case "delay":
+		return func(row int) float64 { return float64(db.Mentions.Delay[row]) }
+	case "doclen":
+		return func(row int) float64 { return float64(db.Mentions.DocLen[row]) }
+	case "tone":
+		return func(row int) float64 { return float64(db.Mentions.Tone[row]) }
+	case "confidence":
+		return func(row int) float64 { return float64(db.Mentions.Confidence[row]) }
+	case "articles":
+		return func(row int) float64 { return float64(db.Events.NumArticles[db.Mentions.EventRow[row]]) }
+	}
+	return nil
+}
+
+// AdhocRow is one grouped result row. Value carries the sum or mean when
+// the aggregate has one; ranking is always by count ("the k most populous
+// groups"), so ordering is integer-deterministic across plans, shard
+// counts and worker counts.
+type AdhocRow struct {
+	Key   string   `json:"key"`
+	Count int64    `json:"count"`
+	Value *float64 `json:"value,omitempty"`
+}
+
+// AdhocResult is the shaped answer: the canonical where, the matched row
+// count, the scalar aggregate value (ungrouped sum/mean), and the top-k
+// grouped rows.
+type AdhocResult struct {
+	Where string     `json:"where"`
+	Group string     `json:"group,omitempty"`
+	Agg   string     `json:"agg"`
+	Count int64      `json:"count"`
+	Value *float64   `json:"value,omitempty"`
+	Rows  []AdhocRow `json:"rows,omitempty"`
+}
+
+// ShapeAdhoc converts raw vectors into the result shape, resolving group
+// ids to display keys. Zero-count groups never appear.
+func ShapeAdhoc(spec AdhocSpec, vec AdhocVec, key func(g int) string) AdhocResult {
+	out := AdhocResult{Where: spec.Where, Group: spec.Group, Agg: spec.Agg.String(), Count: vec.Count}
+	if spec.Group == "" {
+		switch spec.Agg.Kind {
+		case qlang.AggSum:
+			v := vec.Sum
+			out.Value = &v
+		case qlang.AggMean:
+			if vec.Count > 0 {
+				v := vec.Sum / float64(vec.Count)
+				out.Value = &v
+			}
+		}
+		return out
+	}
+	top := engine.TopK(len(vec.Counts), spec.K, func(i int) int64 { return vec.Counts[i] })
+	for _, gid := range top {
+		if vec.Counts[gid] == 0 {
+			break
+		}
+		row := AdhocRow{Key: key(gid), Count: vec.Counts[gid]}
+		switch spec.Agg.Kind {
+		case qlang.AggSum:
+			v := vec.Sums[gid]
+			row.Value = &v
+		case qlang.AggMean:
+			v := vec.Sums[gid] / float64(vec.Counts[gid])
+			row.Value = &v
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// adhocKey resolves group ids to display keys against a monolithic DB.
+func adhocKey(db *store.DB, group string) func(g int) string {
+	switch group {
+	case "source":
+		return func(g int) string { return db.Sources.Name(int32(g)) }
+	case "sourcecountry", "eventcountry":
+		return func(g int) string { return gdelt.Countries[g].FIPS }
+	case "quarter":
+		return db.QuarterLabel
+	}
+	return nil
+}
+
+// AdhocQuery plans, executes and shapes a spec against a monolithic engine
+// view.
+func AdhocQuery(e *engine.Engine, spec AdhocSpec) (AdhocResult, error) {
+	db := e.DB()
+	vec, err := AdhocVectors(e, spec, AdhocGroupSpec(db, spec.Group))
+	if err != nil {
+		return AdhocResult{}, err
+	}
+	return ShapeAdhoc(spec, vec, adhocKey(db, spec.Group)), nil
+}

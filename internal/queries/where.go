@@ -2,55 +2,57 @@ package queries
 
 import (
 	"gdeltmine/internal/engine"
-	"gdeltmine/internal/qlang"
 )
+
+// The pre-algebra filtered queries, now thin shims over the ad-hoc
+// planner: they gain bitmap pushdown for free, and the existing
+// differential batteries over them pin the pushdown paths to the closure
+// reference.
 
 // CountWhere counts articles matching a qlang filter expression.
 func CountWhere(e *engine.Engine, expr string) (int64, error) {
-	f, err := qlang.Compile(e.DB(), expr)
+	spec, err := ParseAdhocSpec(expr, "", "", 0)
 	if err != nil {
 		return 0, err
 	}
-	return e.CountMentions(f.Match), nil
+	vec, err := AdhocVectors(e, spec, GroupSpec{})
+	if err != nil {
+		return 0, err
+	}
+	return vec.Count, nil
 }
 
 // ArticlesPerQuarterWhere computes the quarterly article series restricted
 // to a qlang filter expression.
 func ArticlesPerQuarterWhere(e *engine.Engine, expr string) (QuarterlySeries, error) {
-	db := e.DB()
-	f, err := qlang.Compile(db, expr)
+	spec, err := ParseAdhocSpec(expr, "quarter", "", 0)
 	if err != nil {
 		return QuarterlySeries{}, err
 	}
-	vals := e.GroupCount(db.NumQuarters(), func(row int) int {
-		if !f.Match(row) {
-			return -1
-		}
-		return db.QuarterOfInterval(db.Mentions.Interval[row])
-	})
-	return QuarterlySeries{Labels: quarterLabels(e), Values: vals}, nil
+	vec, err := AdhocVectors(e, spec, AdhocGroupSpec(e.DB(), "quarter"))
+	if err != nil {
+		return QuarterlySeries{}, err
+	}
+	return QuarterlySeries{Labels: quarterLabels(e), Values: vec.Counts}, nil
 }
 
 // TopPublishersWhere ranks sources by article count within a qlang filter.
 func TopPublishersWhere(e *engine.Engine, expr string, k int) (ids []int32, counts []int64, err error) {
-	db := e.DB()
-	f, err := qlang.Compile(db, expr)
+	spec, err := ParseAdhocSpec(expr, "source", "", k)
 	if err != nil {
 		return nil, nil, err
 	}
-	perSource := e.GroupCount(db.Sources.Len(), func(row int) int {
-		if !f.Match(row) {
-			return -1
-		}
-		return int(db.Mentions.Source[row])
-	})
-	top := engine.TopK(len(perSource), k, func(i int) int64 { return perSource[i] })
+	vec, err := AdhocVectors(e, spec, AdhocGroupSpec(e.DB(), "source"))
+	if err != nil {
+		return nil, nil, err
+	}
+	top := engine.TopK(len(vec.Counts), k, func(i int) int64 { return vec.Counts[i] })
 	for _, s := range top {
-		if perSource[s] == 0 {
+		if vec.Counts[s] == 0 {
 			break
 		}
 		ids = append(ids, int32(s))
-		counts = append(counts, perSource[s])
+		counts = append(counts, vec.Counts[s])
 	}
 	return ids, counts, nil
 }

@@ -1,0 +1,95 @@
+package registry
+
+import (
+	"net/url"
+	"testing"
+)
+
+// Parameter canonicalization (DESIGN.md §13): the shared where/group/agg/
+// explain constructors canonicalize values at parse time, so every kind
+// that accepts them produces identical cache keys for semantically
+// identical requests — the qcache double-caching bugfix, pinned here at the
+// registry layer.
+
+func parseQuery(t *testing.T, kind, rawQuery string) (*Descriptor, Params) {
+	t.Helper()
+	d, ok := Lookup(kind)
+	if !ok {
+		t.Fatalf("kind %q not registered", kind)
+	}
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.ParseURLValues(q)
+	if err != nil {
+		t.Fatalf("%q: %v", rawQuery, err)
+	}
+	return d, p
+}
+
+func TestWhereCanonicalizedInCacheKey(t *testing.T) {
+	// Spellings that must collapse: clause order, && vs and, == vs =,
+	// quoting, float formatting. Checked on both the ad-hoc kind and a
+	// legacy filtered kind, which share the where constructor.
+	for _, kind := range []string{"query", "count"} {
+		d, p1 := parseQuery(t, kind, "where="+url.QueryEscape("tone>5 and delay>2"))
+		_, p2 := parseQuery(t, kind, "where="+url.QueryEscape("delay>2 && tone>5.0"))
+		_, p3 := parseQuery(t, kind, "where="+url.QueryEscape("delay > 2 AND tone == 5e0")) // != semantics
+		if d.Canonical(p1) != d.Canonical(p2) {
+			t.Errorf("%s: equivalent spellings key differently: %q vs %q",
+				kind, d.Canonical(p1), d.Canonical(p2))
+		}
+		if d.Canonical(p1) == d.Canonical(p3) {
+			t.Errorf("%s: distinct expressions share a key: %q", kind, d.Canonical(p1))
+		}
+	}
+}
+
+func TestQueryParamCanonDefaults(t *testing.T) {
+	d, p := parseQuery(t, "query", "")
+	if got := p.Str("agg"); got != "count" {
+		t.Errorf("default agg canonicalizes to %q, want count", got)
+	}
+	if got := p.Str("where"); got != "" {
+		t.Errorf("default where %q, want empty", got)
+	}
+	// agg spellings collapse: "count", "" and "COUNT" share one key.
+	_, p2 := parseQuery(t, "query", "agg=COUNT")
+	if d.Canonical(p) != d.Canonical(p2) {
+		t.Errorf("agg spellings key differently: %q vs %q", d.Canonical(p), d.Canonical(p2))
+	}
+	// explain truthy spellings canonicalize to "1", falsy to "".
+	for raw, want := range map[string]string{
+		"explain=true": "1", "explain=YES": "1", "explain=1": "1",
+		"explain=0": "", "explain=false": "", "explain=": "",
+	} {
+		_, pe := parseQuery(t, "query", raw)
+		if got := pe.Str("explain"); got != want {
+			t.Errorf("%s: canonicalized to %q, want %q", raw, got, want)
+		}
+	}
+	// group canonicalizes case and whitespace.
+	_, pg := parseQuery(t, "query", "group="+url.QueryEscape(" Quarter "))
+	if got := pg.Str("group"); got != "quarter" {
+		t.Errorf("group canonicalized to %q, want quarter", got)
+	}
+}
+
+func TestQueryExplainBypassesCache(t *testing.T) {
+	d, ok := Lookup("query")
+	if !ok {
+		t.Fatal("query kind not registered")
+	}
+	if d.Bypass == nil {
+		t.Fatal("query kind has no cache bypass")
+	}
+	_, pExplain := parseQuery(t, "query", "explain=yes")
+	if !d.Bypass(pExplain) {
+		t.Error("explain=yes request must bypass the result cache")
+	}
+	_, pRun := parseQuery(t, "query", "where="+url.QueryEscape("tone>0"))
+	if d.Bypass(pRun) {
+		t.Error("executing request must not bypass the result cache")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/qlang"
 	"gdeltmine/internal/shard"
 	"gdeltmine/internal/store"
 )
@@ -38,6 +39,78 @@ const (
 func IsCommonParam(name string) bool {
 	return name == ParamWorkers || name == ParamFrom || name == ParamTo ||
 		name == ParamShards || name == ParamPlan
+}
+
+// Query-shaping parameters shared by several kinds. One constructor per
+// parameter keeps the schema — name, default, canonicalization, help text —
+// defined once, so every kind that accepts "where" parses, validates and
+// cache-keys it identically (uniform 400 envelopes come from the shared
+// BadParam path).
+
+// kParam is the standard top-k row limit.
+func kParam(help string) ParamSpec {
+	return ParamSpec{Name: "k", Type: IntParam, Default: "10", Help: help}
+}
+
+// whereParam is a qlang filter expression, canonicalized (sorted clauses,
+// one operator spelling, minimal quoting) before queries and cache keys
+// see it. Expressions that fail to parse pass through and fail in the
+// query with a parameter error.
+func whereParam() ParamSpec {
+	return ParamSpec{Name: "where", Type: StringParam, Default: "",
+		Canon: qlang.CanonicalExpr,
+		Help:  "qlang filter expression (empty matches every article)"}
+}
+
+// groupParam is the group-by field of the ad-hoc query kind.
+func groupParam() ParamSpec {
+	return ParamSpec{Name: "group", Type: StringParam, Default: "",
+		Canon: func(s string) string { return strings.ToLower(strings.TrimSpace(s)) },
+		Help:  "group rows by source, sourcecountry, eventcountry or quarter (empty: scalar)"}
+}
+
+// aggParam is the aggregate spec of the ad-hoc query kind.
+func aggParam() ParamSpec {
+	return ParamSpec{Name: "agg", Type: StringParam, Default: "",
+		Canon: func(s string) string {
+			a, err := qlang.ParseAgg(s)
+			if err != nil {
+				return s
+			}
+			return a.String()
+		},
+		Help: "aggregate: count (default), sum:<field> or mean:<field>"}
+}
+
+// explainParam requests the chosen plan instead of executing. It is a
+// StringParam because IntParam cannot express a 0 default; truthy
+// spellings canonicalize to "1", falsy ones to "".
+func explainParam() ParamSpec {
+	return ParamSpec{Name: "explain", Type: StringParam, Default: "",
+		Canon: canonBool,
+		Help:  "return the chosen plan without executing (explain=1)"}
+}
+
+func canonBool(s string) string {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "1", "true", "yes":
+		return "1"
+	case "", "0", "false", "no":
+		return ""
+	}
+	return s
+}
+
+// parseExplain decodes a canonicalized explain value; anything canonBool
+// left alone is a parameter error.
+func parseExplain(p Params) (bool, error) {
+	switch p.Str("explain") {
+	case "1":
+		return true, nil
+	case "":
+		return false, nil
+	}
+	return false, BadParamf("invalid explain %q (want 0 or 1)", p.Str("explain"))
 }
 
 // commonParams is the parsed form of the view-shaping parameters, shared

@@ -37,7 +37,7 @@ func (x *Executor) Execute(d *Descriptor, e *engine.Engine, p Params) (any, qcac
 		}
 		return v, nil
 	}
-	if x == nil || x.Cache == nil {
+	if x == nil || x.Cache == nil || (d.Bypass != nil && d.Bypass(p)) {
 		v, err := compute()
 		return v, qcache.Bypass, err
 	}
@@ -73,7 +73,7 @@ func (x *Executor) ExecuteSharded(d *Descriptor, v *shard.View, p Params) (any, 
 		}
 		return val, nil
 	}
-	if x == nil || x.Cache == nil {
+	if x == nil || x.Cache == nil || (d.Bypass != nil && d.Bypass(p)) {
 		val, err := compute()
 		return val, qcache.Bypass, err
 	}

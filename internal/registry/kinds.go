@@ -82,15 +82,6 @@ func clampK(k, n int) int {
 	return k
 }
 
-func kParam(help string) ParamSpec {
-	return ParamSpec{Name: "k", Type: IntParam, Default: "10", Help: help}
-}
-
-func whereParam() ParamSpec {
-	return ParamSpec{Name: "where", Type: StringParam, Default: "",
-		Help: "qlang filter expression (empty matches every article)"}
-}
-
 // topPublisherRows resolves ids/counts into ranked display rows against
 // the dictionary that owns the ids (store-local or shard-global).
 func topPublisherRows(dict *store.Dictionary, ids []int32, counts []int64) []PublisherRow {

@@ -62,6 +62,13 @@ type ParamSpec struct {
 	// Max clamps IntParam values statically; 0 means no static cap (the
 	// query clamps against dataset bounds itself).
 	Max int
+	// Canon, when non-nil, canonicalizes a resolved StringParam value
+	// before the query and the cache key see it — e.g. a qlang expression
+	// normalizes clause order and operator spelling, so "tone>5 and
+	// delay>2" and "delay>2 && tone>5.0" share one cache entry. Invalid
+	// values pass through unchanged and fail in the query with a parameter
+	// error.
+	Canon func(string) string
 	// Help is the one-line description shown by `gdeltquery list`.
 	Help string
 }
@@ -146,6 +153,11 @@ type Descriptor struct {
 	// the equivalent monolith — the invariant the differential battery in
 	// internal/baseline pins for every kind.
 	RunSharded func(v *shard.View, p Params) (any, error)
+	// Bypass, when non-nil, marks requests whose results must not be
+	// cached: explain output depends on the forced plan mode, which is
+	// deliberately excluded from cache keys because executed results are
+	// plan-independent.
+	Bypass func(p Params) bool
 }
 
 // ParseParams resolves the descriptor's schema against get, which returns
@@ -184,6 +196,9 @@ func (d *Descriptor) ParseParams(get func(name string) []string) (Params, error)
 			v := spec.Default
 			if raw != nil {
 				v = raw[len(raw)-1]
+			}
+			if spec.Canon != nil {
+				v = spec.Canon(v)
 			}
 			p.strs[spec.Name] = v
 		case StringListParam:

@@ -37,18 +37,33 @@ func errorEnvelope(t *testing.T, body io.Reader) string {
 
 func TestMethodNotAllowed(t *testing.T) {
 	srv := testServer(t)
-	resp, err := http.Post(srv.URL+"/api/stats", "application/json", strings.NewReader("{}"))
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/api/stats", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("POST status %d, want 405", resp.StatusCode)
+		t.Fatalf("DELETE status %d, want 405", resp.StatusCode)
 	}
-	if allow := resp.Header.Get("Allow"); allow != "GET" {
-		t.Fatalf("Allow header %q, want GET", allow)
+	if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
+		t.Fatalf("Allow header %q, want GET, POST", allow)
 	}
 	errorEnvelope(t, resp.Body)
+
+	// POST is part of the query surface (form-encoded qlang expressions),
+	// so it must answer like the GET.
+	post, err := http.Post(srv.URL+"/api/stats", "application/x-www-form-urlencoded", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d, want 200", post.StatusCode)
+	}
 }
 
 func TestErrorsUseJSONEnvelope(t *testing.T) {

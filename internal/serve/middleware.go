@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"time"
 
 	"gdeltmine/internal/obs"
@@ -142,9 +143,15 @@ func (s *Server) protect(next http.Handler) http.Handler {
 				jsonError(w, http.StatusInternalServerError, "internal error: %v", rec)
 			}
 		}()
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			w.Header().Set("Allow", http.MethodGet)
-			jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed; use GET", r.Method)
+		// Queries are read-only, so GET/HEAD everywhere; POST is additionally
+		// accepted on the query endpoints, where long qlang expressions travel
+		// form-encoded in the body (serveQuery merges body and URL values).
+		switch {
+		case r.Method == http.MethodGet || r.Method == http.MethodHead:
+		case r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/api/"):
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			jsonError(w, http.StatusMethodNotAllowed, "method %s not allowed; use GET or POST", r.Method)
 			return
 		}
 		if s.cfg.MaxInFlight > 0 {

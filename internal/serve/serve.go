@@ -190,6 +190,17 @@ func (s *Server) legacySeries(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, d *registry.Descriptor) {
 	kind := kindOf(r)
 	q := r.URL.Query()
+	if r.Method == http.MethodPost {
+		// POST carries the parameters form-encoded in the body (long qlang
+		// expressions outgrow comfortable URLs). ParseForm merges body and
+		// URL values; body values come first, and the registry's
+		// last-value-wins rule then lets the URL override the body.
+		if err := r.ParseForm(); err != nil {
+			jsonErrorQuery(w, http.StatusBadRequest, kind, "invalid form body: %v", err)
+			return
+		}
+		q = r.Form
+	}
 	p, err := d.ParseURLValues(q)
 	if err != nil {
 		jsonErrorQuery(w, http.StatusBadRequest, kind, "%v", err)

@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/queries"
+)
+
+// Sharded ad-hoc queries (DESIGN.md §13): each shard plans and executes
+// the spec independently through queries.AdhocVectors — so a selective
+// clause pushes down on every shard exactly as on the monolith — and the
+// raw vectors merge through the local→global remaps. The shard loop is
+// sequential (each kernel is internally parallel), keeping integer merges
+// bit-exact and float merges in a fixed order.
+
+// adhocGroupSpec returns shard i's grouping column spec in GLOBAL group
+// space: source grouping remaps local ids through l2gSrc; country and
+// quarter ids are already global (every part shares the Meta), so the
+// per-part LUTs apply directly, sized to the global width.
+func (v *View) adhocGroupSpec(i int, group string) queries.GroupSpec {
+	s := v.s
+	p := s.parts[i]
+	switch group {
+	case "source":
+		return queries.GroupSpec{N: s.sources.Len(), Col: p.Mentions.Source, Remap: s.l2gSrc[i]}
+	case "sourcecountry":
+		return queries.GroupSpec{N: len(gdelt.Countries), Col: p.Mentions.Source, Remap: p.SourceCountryLUT()}
+	case "eventcountry":
+		return queries.GroupSpec{N: len(gdelt.Countries), Col: p.Mentions.EventRow, Remap: p.EventCountryLUT()}
+	case "quarter":
+		return queries.GroupSpec{N: s.NumQuarters(), Col: p.Mentions.Interval, Remap: p.QuarterLUT()}
+	}
+	return queries.GroupSpec{}
+}
+
+// adhocKey resolves global group ids to display keys.
+func (v *View) adhocKey(group string) func(g int) string {
+	s := v.s
+	switch group {
+	case "source":
+		return func(g int) string { return s.sources.Name(int32(g)) }
+	case "sourcecountry", "eventcountry":
+		return func(g int) string { return gdelt.Countries[g].FIPS }
+	case "quarter":
+		return s.QuarterLabel
+	}
+	return nil
+}
+
+// adhocVectors fans the spec out over every shard and merges the raw
+// vectors in shard order.
+func (v *View) adhocVectors(spec queries.AdhocSpec) (queries.AdhocVec, error) {
+	var vec queries.AdhocVec
+	for i, e := range v.engines() {
+		g := v.adhocGroupSpec(i, spec.Group)
+		pv, err := queries.AdhocVectors(e, spec, g)
+		if err != nil {
+			return queries.AdhocVec{}, err
+		}
+		vec.Count += pv.Count
+		vec.Sum += pv.Sum
+		if pv.Counts != nil {
+			if vec.Counts == nil {
+				vec.Counts = make([]int64, g.N)
+			}
+			for gid, c := range pv.Counts {
+				vec.Counts[gid] += c
+			}
+		}
+		if pv.Sums != nil {
+			if vec.Sums == nil {
+				vec.Sums = make([]float64, g.N)
+			}
+			for gid, sum := range pv.Sums {
+				vec.Sums[gid] += sum
+			}
+		}
+	}
+	return vec, nil
+}
+
+// AdhocQuery plans, executes and shapes a spec over the sharded store. The
+// shaped result matches the monolith bit for bit on integer aggregates
+// (counts rank the rows, and counts are exact sums).
+func (v *View) AdhocQuery(spec queries.AdhocSpec) (queries.AdhocResult, error) {
+	vec, err := v.adhocVectors(spec)
+	if err != nil {
+		return queries.AdhocResult{}, err
+	}
+	return queries.ShapeAdhoc(spec, vec, v.adhocKey(spec.Group)), nil
+}
+
+// AdhocExplain plans the spec on every shard without executing, and merges
+// the per-shard estimates.
+func (v *View) AdhocExplain(spec queries.AdhocSpec) queries.AdhocPlan {
+	plans := make([]queries.AdhocPlan, 0, v.s.K())
+	for _, e := range v.engines() {
+		plans = append(plans, queries.ExplainAdhoc(e, spec))
+	}
+	return queries.MergeAdhocPlans(spec, plans)
+}
+
+// CountWhere counts windowed articles matching a qlang filter.
+func (v *View) CountWhere(expr string) (int64, error) {
+	spec, err := queries.ParseAdhocSpec(expr, "", "", 0)
+	if err != nil {
+		return 0, err
+	}
+	vec, err := v.adhocVectors(spec)
+	if err != nil {
+		return 0, err
+	}
+	return vec.Count, nil
+}
+
+// ArticlesPerQuarterWhere computes the filtered quarterly article series.
+func (v *View) ArticlesPerQuarterWhere(expr string) (queries.QuarterlySeries, error) {
+	spec, err := queries.ParseAdhocSpec(expr, "quarter", "", 0)
+	if err != nil {
+		return queries.QuarterlySeries{}, err
+	}
+	vec, err := v.adhocVectors(spec)
+	if err != nil {
+		return queries.QuarterlySeries{}, err
+	}
+	if vec.Counts == nil {
+		vec.Counts = make([]int64, v.s.NumQuarters())
+	}
+	return queries.QuarterlySeries{Labels: v.quarterLabels(), Values: vec.Counts}, nil
+}
+
+// TopPublishersWhere ranks global sources by filtered article count.
+func (v *View) TopPublishersWhere(expr string, k int) (ids []int32, counts []int64, err error) {
+	spec, err := queries.ParseAdhocSpec(expr, "source", "", k)
+	if err != nil {
+		return nil, nil, err
+	}
+	vec, err := v.adhocVectors(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	top := engine.TopK(len(vec.Counts), k, func(i int) int64 { return vec.Counts[i] })
+	for _, g := range top {
+		if vec.Counts[g] == 0 {
+			break
+		}
+		ids = append(ids, int32(g))
+		counts = append(counts, vec.Counts[g])
+	}
+	return ids, counts, nil
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"gdeltmine/internal/binfmt"
+	"gdeltmine/internal/bitmap"
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/store"
 )
@@ -31,10 +32,11 @@ import (
 var Magic = [4]byte{'G', 'D', 'S', 'M'}
 
 // manifestVersion is the format version this package writes. Version 1
-// manifests (no bitmap sections) are still accepted: the bitmaps are
-// derivable, so their sections are an integrity cross-check, not a
+// manifests (no bitmap sections) and version 2 manifests (source-row
+// bitmaps only, no value bitmaps) are still accepted: every bitmap is
+// derivable, so the sections are an integrity cross-check, not a
 // requirement.
-const manifestVersion = 2
+const manifestVersion = 3
 
 // minManifestVersion is the oldest version the decoder accepts.
 const minManifestVersion = 1
@@ -45,7 +47,13 @@ const (
 	secSources = 0x03
 	secThemes  = 0x04
 	secBitmaps = 0x05
-	secEnd     = 0xFF
+	// Version 3 value-bitmap sections (qlang predicate pushdown,
+	// DESIGN.md §13): per-shard mention-row bitmaps keyed by publisher
+	// country, event country, and calendar quarter.
+	secCountryBM   = 0x06
+	secEvCountryBM = 0x07
+	secQuarterBM   = 0x08
+	secEnd         = 0xFF
 )
 
 // Decoder allocation caps: far above anything a real manifest holds, low
@@ -64,8 +72,10 @@ type ManifestEntry struct {
 	Hi   int32 // last capture interval (exclusive)
 }
 
-// BitmapEntry carries one persisted source-row bitmap of a shard: the
-// source id in that shard's local dictionary and the canonical codec bytes.
+// BitmapEntry carries one persisted row bitmap of a shard: the bitmap's
+// key — a source id in the shard's local dictionary (secBitmaps), a
+// country index (secCountryBM, secEvCountryBM) or a quarter index
+// (secQuarterBM) — and the canonical codec bytes.
 type BitmapEntry struct {
 	Source int32
 	Data   []byte
@@ -88,6 +98,12 @@ type Manifest struct {
 	Sources []string
 	Themes  []string       // nil when the shards carry no GKG data
 	Bitmaps []ShardBitmaps // nil in version 1 manifests
+	// Version 3 value-bitmap sections, persisted as integrity cross-checks
+	// like Bitmaps. Keys are country indexes (CountryBMs, EventCountryBMs)
+	// or quarter indexes (QuarterBMs); only non-empty bitmaps travel.
+	CountryBMs      []ShardBitmaps
+	EventCountryBMs []ShardBitmaps
+	QuarterBMs      []ShardBitmaps
 }
 
 // ManifestFromDB renders the manifest for a sharded DB whose part files
@@ -115,8 +131,27 @@ func ManifestFromDB(s *DB, files []string) (*Manifest, error) {
 			})
 		}
 		m.Bitmaps = append(m.Bitmaps, sb)
+		nc := len(gdelt.Countries)
+		m.CountryBMs = append(m.CountryBMs,
+			valueBitmaps(int32(i), nc, p.CountryRowBitmap))
+		m.EventCountryBMs = append(m.EventCountryBMs,
+			valueBitmaps(int32(i), nc, p.EventCountryRowBitmap))
+		m.QuarterBMs = append(m.QuarterBMs,
+			valueBitmaps(int32(i), p.NumQuarters(), p.QuarterRowBitmap))
 	}
 	return m, nil
+}
+
+// valueBitmaps collects one shard's non-empty value bitmaps over a keyed
+// index of width n.
+func valueBitmaps(shard int32, n int, get func(k int) *bitmap.Bitmap) ShardBitmaps {
+	sb := ShardBitmaps{Shard: shard}
+	for k := 0; k < n; k++ {
+		if bm := get(k); bm.Cardinality() > 0 {
+			sb.Entries = append(sb.Entries, BitmapEntry{Source: int32(k), Data: bm.AppendTo(nil)})
+		}
+	}
+	return sb
 }
 
 // EncodeManifest writes the manifest in the sectioned binary format.
@@ -148,17 +183,27 @@ func EncodeManifest(w io.Writer, m *Manifest) error {
 			return err
 		}
 	}
-	for _, sb := range m.Bitmaps {
-		buf = buf[:0]
-		buf = binary.AppendUvarint(buf, uint64(sb.Shard))
-		buf = binary.AppendUvarint(buf, uint64(len(sb.Entries)))
-		for _, e := range sb.Entries {
-			buf = binary.AppendUvarint(buf, uint64(e.Source))
-			buf = binary.AppendUvarint(buf, uint64(len(e.Data)))
-			buf = append(buf, e.Data...)
-		}
-		if err := writeSection(w, secBitmaps, buf); err != nil {
-			return err
+	for _, sec := range []struct {
+		tag  byte
+		list []ShardBitmaps
+	}{
+		{secBitmaps, m.Bitmaps},
+		{secCountryBM, m.CountryBMs},
+		{secEvCountryBM, m.EventCountryBMs},
+		{secQuarterBM, m.QuarterBMs},
+	} {
+		for _, sb := range sec.list {
+			buf = buf[:0]
+			buf = binary.AppendUvarint(buf, uint64(sb.Shard))
+			buf = binary.AppendUvarint(buf, uint64(len(sb.Entries)))
+			for _, e := range sb.Entries {
+				buf = binary.AppendUvarint(buf, uint64(e.Source))
+				buf = binary.AppendUvarint(buf, uint64(len(e.Data)))
+				buf = append(buf, e.Data...)
+			}
+			if err := writeSection(w, sec.tag, buf); err != nil {
+				return err
+			}
 		}
 	}
 	return writeSection(w, secEnd, nil)
@@ -252,7 +297,7 @@ func DecodeManifest(r io.Reader) (*Manifest, error) {
 			}
 			haveThemes = true
 			m.Themes = d.strs()
-		case secBitmaps:
+		case secBitmaps, secCountryBM, secEvCountryBM, secQuarterBM:
 			sb := ShardBitmaps{Shard: int32(d.uvarint())}
 			n := d.uvarint()
 			if d.err == nil && (n > maxEntries || n > uint64(len(d.buf))) {
@@ -265,7 +310,7 @@ func DecodeManifest(r io.Reader) (*Manifest, error) {
 					break
 				}
 				if src > maxNames {
-					return nil, fmt.Errorf("shard: bitmap source id %d out of range", src)
+					return nil, fmt.Errorf("shard: bitmap key %d out of range", src)
 				}
 				if nb > maxPayload || nb > uint64(len(d.buf)) {
 					return nil, fmt.Errorf("shard: bitmap payload %d exceeds section", nb)
@@ -276,12 +321,23 @@ func DecodeManifest(r io.Reader) (*Manifest, error) {
 				})
 				d.buf = d.buf[nb:]
 			}
-			for _, prev := range m.Bitmaps {
+			var dst *[]ShardBitmaps
+			switch tag {
+			case secBitmaps:
+				dst = &m.Bitmaps
+			case secCountryBM:
+				dst = &m.CountryBMs
+			case secEvCountryBM:
+				dst = &m.EventCountryBMs
+			default:
+				dst = &m.QuarterBMs
+			}
+			for _, prev := range *dst {
 				if prev.Shard == sb.Shard {
-					return nil, fmt.Errorf("shard: duplicate bitmap section for shard %d", sb.Shard)
+					return nil, fmt.Errorf("shard: duplicate 0x%02x bitmap section for shard %d", tag, sb.Shard)
 				}
 			}
-			m.Bitmaps = append(m.Bitmaps, sb)
+			*dst = append(*dst, sb)
 		case secEnd:
 			haveEnd = true
 		default:
@@ -439,27 +495,55 @@ func AssembleSharded(m *Manifest, parts []*store.DB) (*DB, error) {
 			return nil, fmt.Errorf("shard: part %d meta %+v disagrees with manifest %+v", i, p.Meta, m.Meta)
 		}
 	}
-	// Version 2 manifests persist per-shard source-row bitmaps; validate
-	// each against the bitmap rebuilt from the loaded part. The canonical
-	// codec makes this a byte comparison: any disagreement means the part
-	// file and manifest are from different builds (or one is corrupt).
-	for _, sb := range m.Bitmaps {
-		if sb.Shard < 0 || int(sb.Shard) >= len(parts) {
-			return nil, fmt.Errorf("shard: bitmap section for shard %d of %d", sb.Shard, len(parts))
+	// Version 2 manifests persist per-shard source-row bitmaps, version 3
+	// adds country/event-country/quarter value bitmaps; validate each
+	// against the bitmap rebuilt from the loaded part. The canonical codec
+	// makes this a byte comparison: any disagreement means the part file and
+	// manifest are from different builds (or one is corrupt).
+	checkBitmaps := func(kind string, list []ShardBitmaps,
+		width func(p *store.DB) int, rebuild func(p *store.DB, key int32) []byte) error {
+		for _, sb := range list {
+			if sb.Shard < 0 || int(sb.Shard) >= len(parts) {
+				return fmt.Errorf("shard: %s bitmap section for shard %d of %d", kind, sb.Shard, len(parts))
+			}
+			p := parts[sb.Shard]
+			seen := make(map[int32]bool, len(sb.Entries))
+			for _, e := range sb.Entries {
+				if seen[e.Source] {
+					return fmt.Errorf("shard %d: duplicate %s bitmap for key %d", sb.Shard, kind, e.Source)
+				}
+				seen[e.Source] = true
+				if e.Source < 0 || int(e.Source) >= width(p) {
+					return fmt.Errorf("shard %d: %s bitmap for key %d of %d", sb.Shard, kind, e.Source, width(p))
+				}
+				if !bytes.Equal(e.Data, rebuild(p, e.Source)) {
+					return fmt.Errorf("shard %d: persisted %s bitmap for key %d disagrees with part data", sb.Shard, kind, e.Source)
+				}
+			}
 		}
-		p := parts[sb.Shard]
-		seen := make(map[int32]bool, len(sb.Entries))
-		for _, e := range sb.Entries {
-			if seen[e.Source] {
-				return nil, fmt.Errorf("shard %d: duplicate bitmap for source %d", sb.Shard, e.Source)
-			}
-			seen[e.Source] = true
-			if e.Source < 0 || int(e.Source) >= p.Sources.Len() {
-				return nil, fmt.Errorf("shard %d: bitmap for source %d of %d", sb.Shard, e.Source, p.Sources.Len())
-			}
-			if !bytes.Equal(e.Data, p.SourceRowBitmap(e.Source).AppendTo(nil)) {
-				return nil, fmt.Errorf("shard %d: persisted bitmap for source %d disagrees with part data", sb.Shard, e.Source)
-			}
+		return nil
+	}
+	for _, c := range []struct {
+		kind    string
+		list    []ShardBitmaps
+		width   func(p *store.DB) int
+		rebuild func(p *store.DB, key int32) []byte
+	}{
+		{"source", m.Bitmaps,
+			func(p *store.DB) int { return p.Sources.Len() },
+			func(p *store.DB, k int32) []byte { return p.SourceRowBitmap(k).AppendTo(nil) }},
+		{"country", m.CountryBMs,
+			func(p *store.DB) int { return len(gdelt.Countries) },
+			func(p *store.DB, k int32) []byte { return p.CountryRowBitmap(int(k)).AppendTo(nil) }},
+		{"event-country", m.EventCountryBMs,
+			func(p *store.DB) int { return len(gdelt.Countries) },
+			func(p *store.DB, k int32) []byte { return p.EventCountryRowBitmap(int(k)).AppendTo(nil) }},
+		{"quarter", m.QuarterBMs,
+			func(p *store.DB) int { return p.NumQuarters() },
+			func(p *store.DB, k int32) []byte { return p.QuarterRowBitmap(int(k)).AppendTo(nil) }},
+	} {
+		if err := checkBitmaps(c.kind, c.list, c.width, c.rebuild); err != nil {
+			return nil, err
 		}
 	}
 	sources, err := store.FromNames(m.Sources)

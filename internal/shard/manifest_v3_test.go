@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"gdeltmine/internal/store"
+)
+
+// Version 3 manifest coverage: the value-bitmap sections (country,
+// event-country, quarter) round-trip, older versions still load, and the
+// assembly-time cross-check catches bitmaps that disagree with the part
+// data. See DESIGN.md §13.
+
+func tinyManifestAndParts(tb testing.TB) (*Manifest, []*store.DB) {
+	tb.Helper()
+	sdb, raw := tinyShardedWorld(tb)
+	m, err := DecodeManifest(bytes.NewReader(raw))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	parts := make([]*store.DB, sdb.K())
+	for i := range parts {
+		parts[i] = sdb.Part(i)
+	}
+	return m, parts
+}
+
+func TestManifestV3RoundTrip(t *testing.T) {
+	m, parts := tinyManifestAndParts(t)
+	if len(m.CountryBMs) != len(parts) || len(m.EventCountryBMs) != len(parts) || len(m.QuarterBMs) != len(parts) {
+		t.Fatalf("value bitmap sections %d/%d/%d, want one per shard (%d)",
+			len(m.CountryBMs), len(m.EventCountryBMs), len(m.QuarterBMs), len(parts))
+	}
+	// Every shard holds mention rows, so at least the quarter bitmaps must
+	// be non-empty; empty country sections would mean the builder skipped
+	// the value-bitmap pass entirely.
+	for i, sb := range m.QuarterBMs {
+		if len(sb.Entries) == 0 {
+			t.Fatalf("shard %d: no quarter bitmaps persisted", i)
+		}
+	}
+	for _, sb := range m.CountryBMs {
+		if len(sb.Entries) == 0 {
+			t.Fatalf("shard %d: no country bitmaps persisted", sb.Shard)
+		}
+	}
+	if _, err := AssembleSharded(m, parts); err != nil {
+		t.Fatalf("assembling v3 manifest: %v", err)
+	}
+}
+
+// TestManifestV2StillLoads pins backward compatibility: a manifest without
+// the value-bitmap sections, stamped version 2, must decode and assemble.
+// The version byte is not checksummed, so the test patches it in place.
+func TestManifestV2StillLoads(t *testing.T) {
+	m, parts := tinyManifestAndParts(t)
+	m.CountryBMs, m.EventCountryBMs, m.QuarterBMs = nil, nil, nil
+	var buf bytes.Buffer
+	if err := EncodeManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] = 2 // rewrite the version byte: a v2 writer's output
+	m2, err := DecodeManifest(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decoding v2 manifest: %v", err)
+	}
+	if m2.CountryBMs != nil || m2.EventCountryBMs != nil || m2.QuarterBMs != nil {
+		t.Fatalf("v2 manifest decoded with value bitmap sections")
+	}
+	s, err := AssembleSharded(m2, parts)
+	if err != nil {
+		t.Fatalf("assembling v2 manifest: %v", err)
+	}
+	if s.K() != len(parts) {
+		t.Fatalf("assembled K=%d, want %d", s.K(), len(parts))
+	}
+}
+
+// TestManifestFutureVersionRejected: the decoder must refuse versions it
+// does not understand rather than silently skipping sections.
+func TestManifestFutureVersionRejected(t *testing.T) {
+	_, raw := tinyShardedWorld(t)
+	mut := bytes.Clone(raw)
+	mut[4] = manifestVersion + 1
+	if _, err := DecodeManifest(bytes.NewReader(mut)); err == nil {
+		t.Fatal("decoder accepted a future manifest version")
+	}
+}
+
+// TestManifestValueBitmapCrossCheck: a persisted value bitmap that
+// disagrees with the loaded part data must fail assembly, for each of the
+// three new section kinds.
+func TestManifestValueBitmapCrossCheck(t *testing.T) {
+	corruptions := []struct {
+		name   string
+		mutate func(m *Manifest)
+	}{
+		{"country", func(m *Manifest) { m.CountryBMs[0].Entries[0].Data = []byte{0xde, 0xad} }},
+		{"event-country", func(m *Manifest) { m.EventCountryBMs[0].Entries[0].Data = []byte{0xde, 0xad} }},
+		{"quarter", func(m *Manifest) { m.QuarterBMs[0].Entries[0].Data = []byte{0xde, 0xad} }},
+		{"country-key-range", func(m *Manifest) { m.CountryBMs[0].Entries[0].Source = 1 << 20 }},
+		{"quarter-key-range", func(m *Manifest) { m.QuarterBMs[0].Entries[0].Source = 1 << 20 }},
+		{"country-dup-key", func(m *Manifest) {
+			e := &m.CountryBMs[0].Entries
+			*e = append(*e, (*e)[0])
+		}},
+		{"country-shard-range", func(m *Manifest) { m.CountryBMs[0].Shard = 99 }},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			m, parts := tinyManifestAndParts(t)
+			c.mutate(m)
+			if _, err := AssembleSharded(m, parts); err == nil {
+				t.Fatalf("%s corruption assembled cleanly", c.name)
+			}
+		})
+	}
+}
+
+// TestManifestDuplicateValueSectionRejected: two value-bitmap sections for
+// the same shard and kind must be a decode error, mirroring the source
+// bitmap rule.
+func TestManifestDuplicateValueSectionRejected(t *testing.T) {
+	m, _ := tinyManifestAndParts(t)
+	m.QuarterBMs = append(m.QuarterBMs, m.QuarterBMs[0])
+	var buf bytes.Buffer
+	if err := EncodeManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeManifest(&buf); err == nil {
+		t.Fatal("decoder accepted duplicate quarter bitmap sections")
+	}
+}

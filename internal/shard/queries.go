@@ -9,7 +9,6 @@ import (
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/matrix"
 	"gdeltmine/internal/parallel"
-	"gdeltmine/internal/qlang"
 	"gdeltmine/internal/queries"
 	"gdeltmine/internal/stats"
 )
@@ -763,84 +762,4 @@ func (v *View) FastSpreadingEvents(window int32, minSources, k int) []queries.Wi
 		candidates = candidates[:k]
 	}
 	return candidates
-}
-
-// compileAll compiles a qlang expression against every shard. Compilation
-// outcomes are shard-independent — errors depend only on the expression
-// and the shared Meta, and a source literal missing from a shard's local
-// dictionary simply matches nothing there, exactly as it does against a
-// monolith that never saw the source.
-func (v *View) compileAll(expr string) ([]*qlang.Filter, error) {
-	fs := make([]*qlang.Filter, len(v.s.parts))
-	for i, p := range v.s.parts {
-		f, err := qlang.Compile(p, expr)
-		if err != nil {
-			return nil, err
-		}
-		fs[i] = f
-	}
-	return fs, nil
-}
-
-// CountWhere counts windowed articles matching a qlang filter.
-func (v *View) CountWhere(expr string) (int64, error) {
-	fs, err := v.compileAll(expr)
-	if err != nil {
-		return 0, err
-	}
-	var total int64
-	for i, e := range v.engines() {
-		total += e.CountMentions(fs[i].Match)
-	}
-	return total, nil
-}
-
-// ArticlesPerQuarterWhere computes the filtered quarterly article series.
-func (v *View) ArticlesPerQuarterWhere(expr string) (queries.QuarterlySeries, error) {
-	s := v.s
-	fs, err := v.compileAll(expr)
-	if err != nil {
-		return queries.QuarterlySeries{}, err
-	}
-	nq := s.NumQuarters()
-	vals := v.sumPerShard(nq, func(i int, e *engine.Engine) []int64 {
-		p := s.parts[i]
-		f := fs[i]
-		return e.GroupCount(nq, func(row int) int {
-			if !f.Match(row) {
-				return -1
-			}
-			return p.QuarterOfInterval(p.Mentions.Interval[row])
-		})
-	})
-	return queries.QuarterlySeries{Labels: v.quarterLabels(), Values: vals}, nil
-}
-
-// TopPublishersWhere ranks global sources by filtered article count.
-func (v *View) TopPublishersWhere(expr string, k int) (ids []int32, counts []int64, err error) {
-	s := v.s
-	fs, err := v.compileAll(expr)
-	if err != nil {
-		return nil, nil, err
-	}
-	perSource := v.sumPerShard(s.sources.Len(), func(i int, e *engine.Engine) []int64 {
-		p := s.parts[i]
-		f := fs[i]
-		remap := s.l2gSrc[i]
-		return e.GroupCount(s.sources.Len(), func(row int) int {
-			if !f.Match(row) {
-				return -1
-			}
-			return int(remap[p.Mentions.Source[row]])
-		})
-	})
-	top := engine.TopK(len(perSource), k, func(i int) int64 { return perSource[i] })
-	for _, g := range top {
-		if perSource[g] == 0 {
-			break
-		}
-		ids = append(ids, int32(g))
-		counts = append(counts, perSource[g])
-	}
-	return ids, counts, nil
 }

@@ -1,6 +1,9 @@
 package store
 
-import "gdeltmine/internal/bitmap"
+import (
+	"gdeltmine/internal/bitmap"
+	"gdeltmine/internal/gdelt"
+)
 
 // Bitmap postings (DESIGN.md §12): alongside the row-list postings built by
 // buildPostings, each source carries two roaring bitmaps — its mention rows
@@ -72,6 +75,98 @@ func (db *DB) buildSourceBitmaps() {
 		db.srcEvBM[s] = bitmap.FromSorted(evs[s])
 		db.srcRepEvBM[s] = bitmap.FromSorted(reps[s])
 	}
+	// The value bitmaps depend on the same inputs (mention columns, source
+	// countries, event tags), so every rebuild chain that refreshes the
+	// source bitmaps — assembly, chunk appends, event adoption — refreshes
+	// them too.
+	db.buildValueBitmaps()
+}
+
+// buildValueBitmaps derives the per-country mention-row bitmaps for qlang
+// predicate pushdown: one bitmap per publisher country (the source's
+// TLD-attributed country) and one per event country (the mentioned event's
+// tag). Rows are appended in ascending order, so FromSorted yields the
+// canonical encoding the shard manifest cross-checks. Unattributable (-1)
+// rows appear in no bitmap — matching the closure semantics, where an
+// untagged row never satisfies an equality.
+func (db *DB) buildValueBitmaps() {
+	nc := len(gdelt.Countries)
+	nm := db.Mentions.Len()
+	countsS := make([]int64, nc)
+	countsE := make([]int64, nc)
+	for row := 0; row < nm; row++ {
+		if c := db.SourceCountry[db.Mentions.Source[row]]; c >= 0 {
+			countsS[c]++
+		}
+		if c := db.Events.Country[db.Mentions.EventRow[row]]; c >= 0 {
+			countsE[c]++
+		}
+	}
+	rowsS := make([][]int32, nc)
+	rowsE := make([][]int32, nc)
+	for c := 0; c < nc; c++ {
+		rowsS[c] = make([]int32, 0, countsS[c])
+		rowsE[c] = make([]int32, 0, countsE[c])
+	}
+	for row := 0; row < nm; row++ {
+		if c := db.SourceCountry[db.Mentions.Source[row]]; c >= 0 {
+			rowsS[c] = append(rowsS[c], int32(row))
+		}
+		if c := db.Events.Country[db.Mentions.EventRow[row]]; c >= 0 {
+			rowsE[c] = append(rowsE[c], int32(row))
+		}
+	}
+	db.ctryRowBM = make([]*bitmap.Bitmap, nc)
+	db.evCtryRowBM = make([]*bitmap.Bitmap, nc)
+	for c := 0; c < nc; c++ {
+		db.ctryRowBM[c] = bitmap.FromSorted(rowsS[c])
+		db.evCtryRowBM[c] = bitmap.FromSorted(rowsE[c])
+	}
+}
+
+// buildQuarterBitmaps derives one mention-row bitmap per calendar quarter
+// from the quarter row index. Each is a contiguous range, which the roaring
+// run containers encode in O(1) space per 64K block.
+func (db *DB) buildQuarterBitmaps() {
+	db.qtrRowBM = make([]*bitmap.Bitmap, db.quarters)
+	var buf []int32
+	for q := 0; q < db.quarters; q++ {
+		lo, hi := db.quarterRow[q], db.quarterRow[q+1]
+		buf = buf[:0]
+		for r := lo; r < hi; r++ {
+			buf = append(buf, int32(r))
+		}
+		db.qtrRowBM[q] = bitmap.FromSorted(buf)
+	}
+}
+
+// CountryRowBitmap returns the bitmap of mention rows whose source is
+// TLD-attributed to country index c (into gdelt.Countries). Out-of-range
+// indexes return an empty bitmap. Read-only.
+func (db *DB) CountryRowBitmap(c int) *bitmap.Bitmap {
+	if c < 0 || c >= len(db.ctryRowBM) {
+		return bitmap.New()
+	}
+	return db.ctryRowBM[c]
+}
+
+// EventCountryRowBitmap returns the bitmap of mention rows whose mentioned
+// event is tagged with country index c. Out-of-range indexes return an
+// empty bitmap. Read-only.
+func (db *DB) EventCountryRowBitmap(c int) *bitmap.Bitmap {
+	if c < 0 || c >= len(db.evCtryRowBM) {
+		return bitmap.New()
+	}
+	return db.evCtryRowBM[c]
+}
+
+// QuarterRowBitmap returns the bitmap of mention rows captured in quarter
+// q. Out-of-range quarters return an empty bitmap. Read-only.
+func (db *DB) QuarterRowBitmap(q int) *bitmap.Bitmap {
+	if q < 0 || q >= len(db.qtrRowBM) {
+		return bitmap.New()
+	}
+	return db.qtrRowBM[q]
 }
 
 // SourceRowBitmap returns the bitmap of mention rows of source s. Read-only;

@@ -316,4 +316,6 @@ func (db *DB) buildQuarterIndex() {
 		}))
 	}
 	db.quarterRow[db.quarters] = int64(nm)
+
+	db.buildQuarterBitmaps()
 }

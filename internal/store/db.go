@@ -76,6 +76,16 @@ type DB struct {
 	srcEvBM    []*bitmap.Bitmap
 	srcRepEvBM []*bitmap.Bitmap
 
+	// Value bitmaps for qlang predicate pushdown (DESIGN.md §13): mention
+	// rows per publisher country (TLD attribution), per event country, and
+	// per calendar quarter. Quarter bitmaps are contiguous row ranges (run
+	// containers, a few bytes each) — the capture-interval range index in
+	// bitmap form, persisted and cross-checked like the others even though
+	// execution prefers the equivalent binary-searched row range.
+	ctryRowBM   []*bitmap.Bitmap
+	evCtryRowBM []*bitmap.Bitmap
+	qtrRowBM    []*bitmap.Bitmap
+
 	// quarterOfInterval maps a capture interval to a quarter index;
 	// quarterRow[q] is the first mention row of quarter q (mentions are
 	// interval-sorted), with a final sentinel row count.
