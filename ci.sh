@@ -19,9 +19,19 @@ go test ./internal/baseline -run TestRegistryDifferentialCachedVsUncached -count
 # kind sharded at K in {1,3,5} x workers {1,4} must equal the monolith
 # bit-exactly (1e-9 for floats), and the answers must be invariant under
 # shard-boundary moves, shard permutation, and window split/merge. The
-# fan-out path runs per-shard kernels concurrently, so -race here guards
-# the remap-and-reduce merge code.
-go test -race ./internal/baseline -run 'TestShardDifferential|TestShardMetamorphic' -count=1
+# battery includes the skewed-shard sweep (80/20 splits at K in {3,5}),
+# which forces the work-stealing executor's steal path: workers finishing
+# tiny shards must pick up grains from the big shard's kernels with the
+# race detector watching. The fan-out path runs every shard's kernels
+# concurrently, so -race here guards the remap-and-reduce merge code and
+# the cross-shard atomics.
+go test -race ./internal/baseline -run 'TestShardDifferential|TestShardMetamorphic|TestShardCancellation' -count=1
+
+# Executor pool smoke: the process-default work-stealing pool must be built
+# exactly once no matter how many parallel loops run (asserted through the
+# parallel_pool_starts_total obs counter), and cancelled fan-outs must
+# drain without leaking goroutines.
+go test -race ./internal/parallel -run 'TestDefaultPoolIsSingleton|TestPoolNoGoroutineLeakAcrossLoops|TestFanOut' -count=1
 
 # Qlang differential battery, under the race detector: randomized qlang
 # expressions x 2 seeded worlds x {monolith, K in {1,4}} x workers {1,4} x
@@ -64,12 +74,20 @@ go run ./cmd/gdeltbench -kernel-bench -kernel-workers 4 \
 go run ./cmd/gdeltbench -qlang-bench -qlang-workers 4 \
   -qlang-json results/qlang_bench.json -qlang-min-selective 2
 
-# Shard benchmark row (informational): the aggregated country query at K=4
-# shards vs the K=1 monolith on the standard world. The 1.15x ratio limit
-# only warns — correctness is gated by the differential battery above; this
-# row exists so fan-out overhead trends are visible in results/.
+# Shard benchmark gate: every BenchPanel query kind at K=4 shards vs the
+# K=1 monolith on the standard world, through the persistent work-stealing
+# executor. The panel's geomean K1/K4 speedup must clear 2x scaled by
+# min(1, cpus/shards) with a 0.9x floor — on hosts with >= 4 cores that is
+# the full 2x bar; on a single-core host the fan-out machinery must cost
+# no more than ~11% over the monolith (no parallelism exists to win with,
+# so the gate checks overhead, not speedup; the JSON records cpus so the
+# artifact is honest about which bar applied). The run also asserts
+# parallel_pool_starts_total == 1 across the whole panel — the executor
+# pool is a process singleton, never rebuilt per query. A CPU profile of
+# the bench lands next to the JSON for kernel-level inspection.
 go run ./cmd/gdeltbench -preset standard -shard-bench -shard-k 4 \
-  -shard-json results/shard_bench.json -shard-max-ratio 1.15
+  -shard-json results/shard_bench.json -shard-min-speedup 2 \
+  -cpuprofile results/shard_bench.cpuprofile
 
 # Router chaos smoke, under the race detector: a real 4-replica 2-group
 # fleet behind the scatter/gather router, with deterministic replica faults

@@ -58,10 +58,10 @@ func main() {
 		cacheJSON  = flag.String("cache-json", "", "write cache benchmark results as JSON to this file")
 		minSpeedup = flag.Float64("cache-min-speedup", 0, "fail when any kind's warm-cache speedup falls below this factor (0 disables)")
 
-		shardBench    = flag.Bool("shard-bench", false, "run the sharded-vs-monolith cross-count benchmark instead of the paper artifacts")
+		shardBench    = flag.Bool("shard-bench", false, "run the sharded-vs-monolith query panel benchmark instead of the paper artifacts")
 		shardK        = flag.Int("shard-k", 4, "shard count for the shard benchmark")
 		shardJSON     = flag.String("shard-json", "", "write shard benchmark results as JSON to this file")
-		shardMaxRatio = flag.Float64("shard-max-ratio", 1.15, "warn when the sharded run exceeds this multiple of the monolith (informational; 0 disables)")
+		shardSpeedup  = flag.Float64("shard-min-speedup", 0, "fail when the panel's geomean K=1/K=n speedup falls below this factor, scaled by min(1, cpus/shards) with a 0.9 floor (0 disables)")
 
 		routerBench = flag.Bool("router-bench", false, "run the routed-vs-direct serving benchmark instead of the paper artifacts")
 		routerJSON  = flag.String("router-json", "", "write router benchmark results as JSON to this file")
@@ -183,7 +183,7 @@ func main() {
 		return
 	}
 	if *shardBench {
-		if err := runShardBench(h.ds, *shardK, *shardJSON, *shardMaxRatio); err != nil {
+		if err := runShardBench(h.ds, *shardK, *shardJSON, *shardSpeedup); err != nil {
 			log.Fatal(err)
 		}
 		return

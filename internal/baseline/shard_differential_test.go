@@ -124,6 +124,86 @@ func TestShardDifferentialAllKinds(t *testing.T) {
 	}
 }
 
+// skewedBounds tiles [0, iv] into k shards with extreme size skew: shard 0
+// holds ~80% of the timeline and the remaining shards split the tail
+// evenly. Under the work-stealing executor the tiny shards finish almost
+// immediately and their workers must steal grains from shard 0's kernels —
+// the steal path a balanced split never forces — while the answers must
+// stay identical to the monolith.
+func skewedBounds(iv int32, k int) []int32 {
+	bounds := make([]int32, k+1)
+	big := iv * 4 / 5
+	bounds[1] = big
+	for i := 2; i <= k; i++ {
+		bounds[i] = big + (iv-big)*int32(i-1)/int32(k-1)
+	}
+	bounds[k] = iv
+	return bounds
+}
+
+// TestShardDifferentialSkewed is the battery over pathologically skewed
+// shard sizes: every kind at K in {3,5} x workers {1,4} on an 80/20 split
+// must reproduce the balanced-shard (and hence monolith) answer. ci.sh
+// runs this under -race, so cross-shard merges and the steal path are
+// exercised with the detector watching.
+func TestShardDifferentialSkewed(t *testing.T) {
+	db := buildCorpus(t, gen.Small())
+	themeArg := themeParam(t, db)
+	params := func(name string) []string {
+		if name == "theme" && themeArg != "" {
+			return []string{themeArg}
+		}
+		return nil
+	}
+
+	refs := map[string]any{}
+	for _, d := range registry.All() {
+		if d.NeedsGKG && db.GKG == nil {
+			continue
+		}
+		p, err := d.ParseParams(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := d.Run(engine.New(db).WithWorkers(1).WithKind(d.Kind), p)
+		if err != nil {
+			t.Fatalf("%s: monolith: %v", d.Kind, err)
+		}
+		refs[d.Kind] = jsonTree(t, ref)
+	}
+
+	for _, k := range []int{3, 5} {
+		bounds := skewedBounds(db.Meta.Intervals, k)
+		sdb, err := shard.SplitAt(db, bounds)
+		if err != nil {
+			t.Fatalf("SplitAt(%v): %v", bounds, err)
+		}
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("k%d/w%d", k, workers), func(t *testing.T) {
+				v := sdb.View().WithWorkers(workers)
+				for _, d := range registry.All() {
+					refTree, ok := refs[d.Kind]
+					if !ok {
+						continue
+					}
+					p, err := d.ParseParams(params)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := d.RunSharded(v.WithKind(d.Kind), p)
+					if err != nil {
+						t.Errorf("%s: sharded: %v", d.Kind, err)
+						continue
+					}
+					if err := eqTree(d.Kind, refTree, jsonTree(t, got)); err != nil {
+						t.Errorf("%s: skewed shards diverge from monolith: %v", d.Kind, err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestShardDifferentialWindowed repeats the battery for a windowed view on
 // the kinds that honor the mention window, with window endpoints chosen to
 // fall both on and off shard boundaries.

@@ -35,6 +35,9 @@ type Engine struct {
 	// plan pins selection queries to a physical plan; PlanAuto defers to
 	// the cost-based planner (planner.go).
 	plan PlanMode
+	// worker binds kernels to the pool worker executing this view (shard
+	// affinity + worker-keyed accumulator reuse); see WithWorker.
+	worker *parallel.Worker
 	// Mention-row window [rowLo, rowHi); rowHi == 0 means the full table.
 	rowLo, rowHi int64
 }
@@ -76,6 +79,20 @@ func (e *Engine) Kind() string {
 		return "adhoc"
 	}
 	return e.kind
+}
+
+// WithWorker returns a copy of the engine bound to the pool worker whose
+// goroutine will execute the view's kernels — the handle a parallel.FanOut
+// shard job receives. Kernels then advertise their grains on that worker's
+// own deque (the worker that started a shard keeps draining it while idle
+// peers steal) and draw accumulators from the worker's freelists, so the
+// same worker re-executing a shard reuses the same memory. The binding is
+// goroutine-local by contract: bind only the worker currently executing
+// the caller, and never share the bound view across goroutines.
+func (e *Engine) WithWorker(w *parallel.Worker) *Engine {
+	cp := *e
+	cp.worker = w
+	return &cp
 }
 
 // WithInterval returns a copy of the engine whose mention scans cover only
@@ -161,7 +178,7 @@ func (e *Engine) Workers() int {
 // building their own parallel loops use this instead of raw Options so
 // request cancellation reaches every kernel.
 func (e *Engine) ScanOptions() parallel.Options {
-	return parallel.Options{Workers: e.workers, Context: e.ctx}
+	return parallel.Options{Workers: e.workers, Context: e.ctx, Worker: e.worker}
 }
 
 func (e *Engine) opt() parallel.Options { return e.ScanOptions() }
@@ -179,8 +196,8 @@ func (e *Engine) CountMentions(pred func(row int) bool) int64 {
 func (e *Engine) GroupCount(numGroups int, groupOf func(row int) int) []int64 {
 	wlo, whi := e.mentionWindow()
 	defer e.observeScan(whi-wlo, time.Now())
-	res := parallel.MapReduce(whi-wlo, e.opt(),
-		func() []int64 { return parallel.GetInt64(numGroups) },
+	res := parallel.MapReduceW(whi-wlo, e.opt(),
+		newInt64W(numGroups),
 		func(acc []int64, lo, hi int) []int64 {
 			for row := wlo + lo; row < wlo+hi; row++ {
 				if g := groupOf(row); g >= 0 {
@@ -191,14 +208,14 @@ func (e *Engine) GroupCount(numGroups int, groupOf func(row int) int) []int64 {
 		},
 		mergeReleaseInt64,
 	)
-	return copyOutInt64(res)
+	return e.copyOutInt64(res)
 }
 
 // GroupCountEvents aggregates event rows into numGroups counters.
 func (e *Engine) GroupCountEvents(numGroups int, groupOf func(row int) int) []int64 {
 	defer e.observeScan(e.db.Events.Len(), time.Now())
-	res := parallel.MapReduce(e.db.Events.Len(), e.opt(),
-		func() []int64 { return parallel.GetInt64(numGroups) },
+	res := parallel.MapReduceW(e.db.Events.Len(), e.opt(),
+		newInt64W(numGroups),
 		func(acc []int64, lo, hi int) []int64 {
 			for row := lo; row < hi; row++ {
 				if g := groupOf(row); g >= 0 {
@@ -209,7 +226,7 @@ func (e *Engine) GroupCountEvents(numGroups int, groupOf func(row int) int) []in
 		},
 		mergeReleaseInt64,
 	)
-	return copyOutInt64(res)
+	return e.copyOutInt64(res)
 }
 
 // CrossCount aggregates mention rows in the window into a rows×cols
@@ -219,8 +236,8 @@ func (e *Engine) GroupCountEvents(numGroups int, groupOf func(row int) int) []in
 func (e *Engine) CrossCount(rows, cols int, keys func(row int) (r, c int)) *matrix.Int64 {
 	wlo, whi := e.mentionWindow()
 	defer e.observeScan(whi-wlo, time.Now())
-	return parallel.MapReduce(whi-wlo, e.opt(),
-		func() *matrix.Int64 { return newPooledInt64Matrix(rows, cols) },
+	return parallel.MapReduceW(whi-wlo, e.opt(),
+		func(w *parallel.Worker) *matrix.Int64 { return newPooledInt64Matrix(w, rows, cols) },
 		func(acc *matrix.Int64, lo, hi int) *matrix.Int64 {
 			for row := wlo + lo; row < wlo+hi; row++ {
 				r, c := keys(row)
@@ -238,8 +255,8 @@ func (e *Engine) CrossCount(rows, cols int, keys func(row int) (r, c int)) *matr
 func (e *Engine) SumByGroup(numGroups int, keyVal func(row int) (g int, v float64)) []float64 {
 	wlo, whi := e.mentionWindow()
 	defer e.observeScan(whi-wlo, time.Now())
-	res := parallel.MapReduce(whi-wlo, e.opt(),
-		func() []float64 { return parallel.GetFloat64(numGroups) },
+	res := parallel.MapReduceW(whi-wlo, e.opt(),
+		newFloat64W(numGroups),
 		func(acc []float64, lo, hi int) []float64 {
 			for row := wlo + lo; row < wlo+hi; row++ {
 				if g, v := keyVal(row); g >= 0 {
@@ -250,7 +267,7 @@ func (e *Engine) SumByGroup(numGroups int, keyVal func(row int) (g int, v float6
 		},
 		mergeReleaseFloat64,
 	)
-	return copyOutFloat64(res)
+	return e.copyOutFloat64(res)
 }
 
 // TopK returns the indexes of the k largest values (ties broken toward the

@@ -14,6 +14,14 @@ import (
 	"sync"
 )
 
+// minGrain is the floor of the automatic grain: chunks below it would pay
+// more in cursor traffic and task accounting than the loop body earns.
+const minGrain = 64
+
+// maxGrain caps the automatic grain so even enormous scans stay responsive
+// to cancellation and steal requests.
+const maxGrain = 8192
+
 // DefaultWorkers returns the default degree of parallelism, which is the
 // current GOMAXPROCS setting. It never returns less than 1.
 func DefaultWorkers() int {
@@ -30,7 +38,9 @@ type Options struct {
 	Workers int
 	// Grain is the minimum number of iterations handed to a worker at a
 	// time under dynamic scheduling. Zero means an automatic grain of
-	// roughly n/(8*workers), clamped to [1, 8192].
+	// roughly n/(4*workers) clamped to [64, 8192] — and never more than
+	// the ideal per-worker share, so small inputs still fan out to every
+	// worker instead of serializing behind one oversized chunk.
 	Grain int
 	// Static selects static (blocked) scheduling: the index space is cut
 	// into exactly Workers contiguous blocks. Dynamic scheduling (the
@@ -45,6 +55,17 @@ type Options struct {
 	// bound. The loop still returns normally; callers that need to
 	// distinguish a cancelled partial result check Context.Err().
 	Context context.Context
+	// Worker, when non-nil, binds the loop to the pool worker whose
+	// goroutine is making the call (as handed to FanOut jobs). The loop
+	// advertises its subtasks on that worker's own deque — shard
+	// affinity: the spawner keeps draining them LIFO while idle peers
+	// steal — and accumulator helpers reuse that worker's freelists. It
+	// must only ever name the worker currently executing the caller.
+	Worker *Worker
+	// Pool overrides the process-default work-stealing pool. Tests use
+	// private pools to exercise multi-worker interleavings; production
+	// code leaves it nil and shares Default().
+	Pool *Pool
 }
 
 // cancelled reports whether the loop's context (if any) is done.
@@ -69,12 +90,21 @@ func (o Options) workers(n int) int {
 func (o Options) grain(n, workers int) int {
 	g := o.Grain
 	if g <= 0 {
-		g = n / (8 * workers)
+		g = n / (4 * workers)
+		if g < minGrain {
+			g = minGrain
+		}
+		if g > maxGrain {
+			g = maxGrain
+		}
+		// A small input must still fan out: never hand one worker more
+		// than the ideal equal share, or a shard with rows < grain runs
+		// as a single task no matter how many workers sit idle.
+		if per := (n + workers - 1) / workers; g > per {
+			g = per
+		}
 		if g < 1 {
 			g = 1
-		}
-		if g > 8192 {
-			g = 8192
 		}
 	}
 	return g
@@ -152,26 +182,28 @@ func ForOpt(n int, opt Options, body func(lo, hi int)) {
 		wg.Wait()
 		return
 	}
+	// Dynamic scheduling on the work-stealing pool: the loop becomes one
+	// scope of `workers` runners draining a shared grain cursor. The
+	// calling goroutine joins (it executes runners itself), idle pool
+	// workers pick up the advertisements; a runner claimed after the
+	// cursor drains is a no-op.
 	grain := opt.grain(n, workers)
 	cursor := newCursor()
-	perWorker := make([]int64, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for !opt.cancelled() {
-				lo, hi := cursor.next(grain, n)
-				if lo >= hi {
-					return
-				}
-				perWorker[w]++
-				body(lo, hi)
+	perRunner := make([]int64, workers)
+	p := opt.pool()
+	s := p.newScope(workers, func(_ *Worker, r int) {
+		for !opt.cancelled() {
+			lo, hi := cursor.next(grain, n)
+			if lo >= hi {
+				return
 			}
-		}(w)
-	}
-	wg.Wait()
-	recordScan(n, perWorker)
+			perRunner[r]++
+			body(lo, hi)
+		}
+	})
+	p.advertise(s, opt.Worker, workers-1)
+	s.join(opt.Worker)
+	recordScan(n, perRunner)
 }
 
 // ForEachWorker runs body once per worker, passing the worker id and the

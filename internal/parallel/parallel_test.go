@@ -94,6 +94,38 @@ func TestGrainClamping(t *testing.T) {
 	}
 }
 
+// TestGrainSmallInputsFanOut pins the small-shard fix: the automatic grain
+// never exceeds the ideal per-worker share, so a loop shorter than the old
+// 64-iteration floor still splits across every worker instead of running
+// as one oversized task while the others idle.
+func TestGrainSmallInputsFanOut(t *testing.T) {
+	o := Options{}
+	for _, tc := range []struct{ n, workers, want int }{
+		{100, 4, 25},    // below the floor: cap at ceil(n/workers)
+		{10, 4, 3},      // tiny loop still yields 4 claimable grains
+		{1, 8, 1},       // never below 1
+		{256, 4, 64},    // floor engages exactly at the per-worker share
+		{100_000, 4, 6250},
+		{10_000_000, 4, 8192}, // ceiling unchanged
+	} {
+		if g := o.grain(tc.n, tc.workers); g != tc.want {
+			t.Errorf("grain(%d, %d) = %d, want %d", tc.n, tc.workers, g, tc.want)
+		}
+	}
+	// Every worker can claim at least one grain whenever n >= workers.
+	for _, n := range []int{4, 7, 63, 64, 65, 1000} {
+		for _, w := range []int{2, 4, 8} {
+			if n < w {
+				continue
+			}
+			g := o.grain(n, w)
+			if chunks := (n + g - 1) / g; chunks < w {
+				t.Errorf("grain(%d, %d) = %d yields %d chunks for %d workers", n, w, g, chunks, w)
+			}
+		}
+	}
+}
+
 func TestWorkersClamping(t *testing.T) {
 	o := Options{Workers: 100}
 	if w := o.workers(3); w != 3 {

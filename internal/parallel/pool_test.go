@@ -66,7 +66,7 @@ func TestMergeTreeMatchesSerialFold(t *testing.T) {
 			}
 			partials[w] = p
 		}
-		got := mergeTree(partials, func(dst, src []int64) []int64 {
+		got := MergeTree(partials, func(dst, src []int64) []int64 {
 			for i, v := range src {
 				dst[i] += v
 			}

@@ -10,16 +10,30 @@ import "sync"
 // accumulator (histogram, matrix block, counter set) and the results are
 // combined once at the end, avoiding shared-write contention.
 func MapReduce[A any](n int, opt Options, newPartial func() A, body func(acc A, lo, hi int) A, merge func(dst, src A) A) A {
+	return MapReduceW(n, opt,
+		func(*Worker) A { return newPartial() },
+		body,
+		func(_ *Worker, dst, src A) A { return merge(dst, src) })
+}
+
+// MapReduceW is MapReduce with worker-keyed allocation: newPartial receives
+// the pool worker executing the runner (nil off-pool) so accumulators come
+// from that worker's freelist, and merge receives the joining worker so
+// released buffers return to it. Runners are scheduled on the
+// work-stealing pool; a runner that never claims a grain allocates nothing
+// and is skipped at merge time, which leaves results bit-identical for the
+// package's pure dst += src merges.
+func MapReduceW[A any](n int, opt Options, newPartial func(w *Worker) A, body func(acc A, lo, hi int) A, merge func(w *Worker, dst, src A) A) A {
 	workers := opt.workers(max(n, 1))
 	if n <= 0 || opt.cancelled() {
-		return newPartial()
+		return newPartial(opt.Worker)
 	}
 	if workers == 1 {
 		defer recordScan(n, nil)
 		if opt.Context == nil {
-			return body(newPartial(), 0, n)
+			return body(newPartial(opt.Worker), 0, n)
 		}
-		acc := newPartial()
+		acc := newPartial(opt.Worker)
 		grain := opt.grain(n, workers)
 		for lo := 0; lo < n && !opt.cancelled(); lo += grain {
 			hi := lo + grain
@@ -30,57 +44,93 @@ func MapReduce[A any](n int, opt Options, newPartial func() A, body func(acc A, 
 		}
 		return acc
 	}
-	partials := make([]A, workers)
-	perWorker := make([]int64, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
 	grain := opt.grain(n, workers)
 	cursor := newCursor()
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			acc := newPartial()
-			for !opt.cancelled() {
-				lo, hi := cursor.next(grain, n)
-				if lo >= hi {
-					break
-				}
-				perWorker[w]++
-				acc = body(acc, lo, hi)
+	partials := make([]A, workers)
+	touched := make([]bool, workers)
+	perRunner := make([]int64, workers)
+	p := opt.pool()
+	s := p.newScope(workers, func(w *Worker, r int) {
+		var acc A
+		have := false
+		for !opt.cancelled() {
+			lo, hi := cursor.next(grain, n)
+			if lo >= hi {
+				break
 			}
-			partials[w] = acc
-		}(w)
+			if !have {
+				have = true
+				acc = newPartial(w)
+			}
+			perRunner[r]++
+			acc = body(acc, lo, hi)
+		}
+		if have {
+			partials[r] = acc
+			touched[r] = true
+		}
+	})
+	p.advertise(s, opt.Worker, workers-1)
+	s.join(opt.Worker)
+	recordScan(n, perRunner)
+	k := 0
+	for i, t := range touched {
+		if t {
+			partials[k] = partials[i]
+			k++
+		}
 	}
-	wg.Wait()
-	recordScan(n, perWorker)
-	return mergeTree(partials, merge)
+	if k == 0 {
+		// Cancelled before any grain was claimed: return an empty
+		// accumulator, as the serial path would.
+		return newPartial(opt.Worker)
+	}
+	return mergeTreeW(opt.Worker, partials[:k], merge)
 }
 
-// mergeTree folds worker partials into partials[0]. With four or more
+// MergeTree folds partials pairwise into partials[0] and returns it; with
+// four or more entries disjoint pairs merge concurrently, giving O(log n)
+// merge latency. Exported for cross-shard reduction: internal/shard folds
+// per-shard partial vectors and matrices through the same machinery the
+// in-shard MapReduce uses. merge must be a pure dst += src fold. An empty
+// slice returns the zero value.
+func MergeTree[A any](partials []A, merge func(dst, src A) A) A {
+	if len(partials) == 0 {
+		var zero A
+		return zero
+	}
+	return mergeTreeW(nil, partials, func(_ *Worker, dst, src A) A { return merge(dst, src) })
+}
+
+// mergeTreeW folds worker partials into partials[0]. With four or more
 // partials it runs a pairwise merge tree — level k merges partials[i] and
 // partials[i+2^k] concurrently for all even multiples i of 2^(k+1) — so a
 // large accumulator (a per-worker contingency matrix, say) folds in
 // O(log workers) merge latency instead of a serial O(workers) chain on one
-// goroutine. merge therefore runs concurrently on disjoint pairs; every
-// merge in this package's callers is a pure dst += src fold, which is safe.
-func mergeTree[A any](partials []A, merge func(dst, src A) A) A {
+// goroutine. The merge at index 0 runs on the calling goroutine and is
+// handed w, so released buffers land in the joining worker's freelist;
+// helper-goroutine merges get nil and fall back to the shared pool. merge
+// may itself run parallel loops: helper goroutines join their own scopes
+// self-sufficiently, so no pool capacity is required for progress.
+func mergeTreeW[A any](w *Worker, partials []A, merge func(w *Worker, dst, src A) A) A {
 	workers := len(partials)
 	if workers < 4 {
 		out := partials[0]
-		for w := 1; w < workers; w++ {
-			out = merge(out, partials[w])
+		for i := 1; i < workers; i++ {
+			out = merge(w, out, partials[i])
 		}
 		return out
 	}
 	for stride := 1; stride < workers; stride *= 2 {
 		var wg sync.WaitGroup
-		for i := 0; i+stride < workers; i += 2 * stride {
+		for i := 2 * stride; i+stride < workers; i += 2 * stride {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				partials[i] = merge(partials[i], partials[i+stride])
+				partials[i] = merge(nil, partials[i], partials[i+stride])
 			}(i)
 		}
+		partials[0] = merge(w, partials[0], partials[stride])
 		wg.Wait()
 	}
 	return partials[0]

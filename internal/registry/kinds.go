@@ -178,9 +178,10 @@ func init() {
 	})
 
 	register(&Descriptor{
-		Kind:   "top-publishers",
-		Help:   "k most productive publishers by article count",
-		Params: []ParamSpec{kParam("number of publishers")},
+		Kind:       "top-publishers",
+		Help:       "k most productive publishers by article count",
+		Params:     []ParamSpec{kParam("number of publishers")},
+		BenchPanel: true,
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			k := clampK(p.Int("k"), e.DB().Sources.Len())
 			ids, counts := queries.TopPublishers(e, k)
@@ -221,6 +222,7 @@ func init() {
 		Help: "aggregated country cross-/co-reporting query (Tables V-VII)",
 		Params: []ParamSpec{{Name: "k", Type: IntParam, Default: "10", Max: len(gdelt.Countries),
 			Help: "matrix corner size"}},
+		BenchPanel: true,
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			cr, err := queries.CountryQuery(e)
 			if err != nil {
@@ -305,8 +307,9 @@ func init() {
 	})
 
 	register(&Descriptor{
-		Kind: "series-articles",
-		Help: "articles per quarter (Figure 4)",
+		Kind:       "series-articles",
+		Help:       "articles per quarter (Figure 4)",
+		BenchPanel: true,
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.ArticlesPerQuarter(e), nil
 		},
@@ -327,8 +330,9 @@ func init() {
 	})
 
 	register(&Descriptor{
-		Kind: "series-active-sources",
-		Help: "active sources per quarter (Figure 6)",
+		Kind:       "series-active-sources",
+		Help:       "active sources per quarter (Figure 6)",
+		BenchPanel: true,
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.ActiveSourcesPerQuarter(e), nil
 		},
@@ -338,8 +342,9 @@ func init() {
 	})
 
 	register(&Descriptor{
-		Kind: "series-slow-articles",
-		Help: "slow articles (delay > 1 interval) per quarter (Figure 11)",
+		Kind:       "series-slow-articles",
+		Help:       "slow articles (delay > 1 interval) per quarter (Figure 11)",
+		BenchPanel: true,
 		Run: func(e *engine.Engine, p Params) (any, error) {
 			return queries.SlowArticlesPerQuarter(e), nil
 		},

@@ -158,6 +158,11 @@ type Descriptor struct {
 	// deliberately excluded from cache keys because executed results are
 	// plan-independent.
 	Bypass func(p Params) bool
+	// BenchPanel marks kinds included in the shard-speedup benchmark panel
+	// (gdeltbench -shard-bench): scan-heavy kinds whose sharded execution
+	// fans out across the worker pool, each runnable with default
+	// parameters.
+	BenchPanel bool
 }
 
 // ParseParams resolves the descriptor's schema against get, which returns
@@ -318,6 +323,18 @@ func MustLookup(name string) *Descriptor {
 func All() []*Descriptor {
 	out := make([]*Descriptor, len(ordered))
 	copy(out, ordered)
+	return out
+}
+
+// Panel returns the descriptors marked for the shard-speedup benchmark
+// panel, in registration order.
+func Panel() []*Descriptor {
+	var out []*Descriptor
+	for _, d := range ordered {
+		if d.BenchPanel {
+			out = append(out, d)
+		}
+	}
 	return out
 }
 

@@ -3,15 +3,18 @@ package shard
 import (
 	"gdeltmine/internal/engine"
 	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/parallel"
 	"gdeltmine/internal/queries"
 )
 
 // Sharded ad-hoc queries (DESIGN.md §13): each shard plans and executes
 // the spec independently through queries.AdhocVectors — so a selective
 // clause pushes down on every shard exactly as on the monolith — and the
-// raw vectors merge through the local→global remaps. The shard loop is
-// sequential (each kernel is internally parallel), keeping integer merges
-// bit-exact and float merges in a fixed order.
+// raw vectors merge through the local→global remaps. Shards execute
+// concurrently on the work-stealing pool into shard-indexed slots; the
+// merge then folds the slots in ascending shard order, keeping integer
+// merges bit-exact and float merges in a fixed order regardless of which
+// shard finished first.
 
 // adhocGroupSpec returns shard i's grouping column spec in GLOBAL group
 // space: source grouping remaps local ids through l2gSrc; country and
@@ -47,21 +50,29 @@ func (v *View) adhocKey(group string) func(g int) string {
 	return nil
 }
 
-// adhocVectors fans the spec out over every shard and merges the raw
-// vectors in shard order.
+// adhocVectors fans the spec out over every shard concurrently and merges
+// the raw vectors in ascending shard order.
 func (v *View) adhocVectors(spec queries.AdhocSpec) (queries.AdhocVec, error) {
-	var vec queries.AdhocVec
-	for i, e := range v.engines() {
+	k := v.s.K()
+	vecs := make([]queries.AdhocVec, k)
+	errs := make([]error, k)
+	v.forEachShard(func(_ *parallel.Worker, i int, e *engine.Engine) {
 		g := v.adhocGroupSpec(i, spec.Group)
-		pv, err := queries.AdhocVectors(e, spec, g)
+		vecs[i], errs[i] = queries.AdhocVectors(e, spec, g)
+	})
+	// First error by shard index, matching the sequential loop's reporting.
+	for _, err := range errs {
 		if err != nil {
 			return queries.AdhocVec{}, err
 		}
+	}
+	var vec queries.AdhocVec
+	for _, pv := range vecs {
 		vec.Count += pv.Count
 		vec.Sum += pv.Sum
 		if pv.Counts != nil {
 			if vec.Counts == nil {
-				vec.Counts = make([]int64, g.N)
+				vec.Counts = make([]int64, len(pv.Counts))
 			}
 			for gid, c := range pv.Counts {
 				vec.Counts[gid] += c
@@ -69,7 +80,7 @@ func (v *View) adhocVectors(spec queries.AdhocSpec) (queries.AdhocVec, error) {
 		}
 		if pv.Sums != nil {
 			if vec.Sums == nil {
-				vec.Sums = make([]float64, g.N)
+				vec.Sums = make([]float64, len(pv.Sums))
 			}
 			for gid, sum := range pv.Sums {
 				vec.Sums[gid] += sum
@@ -91,12 +102,13 @@ func (v *View) AdhocQuery(spec queries.AdhocSpec) (queries.AdhocResult, error) {
 }
 
 // AdhocExplain plans the spec on every shard without executing, and merges
-// the per-shard estimates.
+// the per-shard estimates (shard-indexed, so the merged plan lists shards
+// in order no matter which planned first).
 func (v *View) AdhocExplain(spec queries.AdhocSpec) queries.AdhocPlan {
-	plans := make([]queries.AdhocPlan, 0, v.s.K())
-	for _, e := range v.engines() {
-		plans = append(plans, queries.ExplainAdhoc(e, spec))
-	}
+	plans := make([]queries.AdhocPlan, v.s.K())
+	v.forEachShard(func(_ *parallel.Worker, i int, e *engine.Engine) {
+		plans[i] = queries.ExplainAdhoc(e, spec)
+	})
 	return queries.MergeAdhocPlans(spec, plans)
 }
 

@@ -18,11 +18,15 @@ func (v *View) TopThemes(k int) ([]queries.ThemeCount, error) {
 		return nil, queries.ErrNoGKG
 	}
 	nt := s.themes.Len()
-	counts := make([]int64, nt)
-	for i, p := range s.parts {
+	// One fan-out job per shard, each an internally parallel count in the
+	// global theme space; shard partials fold through a merge tree (exact
+	// integer sums under any fold shape).
+	partials := make([][]int64, s.K())
+	v.forEachShard(func(w *parallel.Worker, i int, _ *engine.Engine) {
+		p := s.parts[i]
 		g := p.GKG
 		remap := s.l2gTheme[i]
-		part := parallel.MapReduce(g.Table.Len(), v.opt(),
+		partials[i] = parallel.MapReduce(g.Table.Len(), v.optW(w),
 			func() []int64 { return make([]int64, nt) },
 			func(acc []int64, lo, hi int) []int64 {
 				for r := lo; r < hi; r++ {
@@ -39,9 +43,21 @@ func (v *View) TopThemes(k int) ([]queries.ThemeCount, error) {
 				return dst
 			},
 		)
-		for t, c := range part {
-			counts[t] += c
+	})
+	live := partials[:0]
+	for _, p := range partials {
+		if p != nil {
+			live = append(live, p)
 		}
+	}
+	counts := make([]int64, nt)
+	if len(live) > 0 {
+		counts = parallel.MergeTree(live, func(dst, src []int64) []int64 {
+			for i, c := range src {
+				dst[i] += c
+			}
+			return dst
+		})
 	}
 	top := engine.TopK(nt, k, func(i int) int64 { return counts[i] })
 	out := make([]queries.ThemeCount, 0, len(top))
@@ -88,12 +104,19 @@ func (v *View) TranslatedShare() (labels []string, share []float64, err error) {
 		return nil, nil, queries.ErrNoGKG
 	}
 	nq := s.NumQuarters()
-	translated := make([]int64, nq)
-	total := make([]int64, nq)
 	type pair struct{ translated, total []int64 }
-	for _, p := range s.parts {
+	merge := func(dst, src *pair) *pair {
+		for i := range dst.total {
+			dst.total[i] += src.total[i]
+			dst.translated[i] += src.translated[i]
+		}
+		return dst
+	}
+	partials := make([]*pair, s.K())
+	v.forEachShard(func(w *parallel.Worker, i int, _ *engine.Engine) {
+		p := s.parts[i]
 		g := p.GKG
-		res := parallel.MapReduce(g.Table.Len(), v.opt(),
+		partials[i] = parallel.MapReduce(g.Table.Len(), v.optW(w),
 			func() *pair { return &pair{make([]int64, nq), make([]int64, nq)} },
 			func(acc *pair, lo, hi int) *pair {
 				for r := lo; r < hi; r++ {
@@ -105,23 +128,23 @@ func (v *View) TranslatedShare() (labels []string, share []float64, err error) {
 				}
 				return acc
 			},
-			func(dst, src *pair) *pair {
-				for i := range dst.total {
-					dst.total[i] += src.total[i]
-					dst.translated[i] += src.translated[i]
-				}
-				return dst
-			},
+			merge,
 		)
-		for q := 0; q < nq; q++ {
-			translated[q] += res.translated[q]
-			total[q] += res.total[q]
+	})
+	live := partials[:0]
+	for _, p := range partials {
+		if p != nil {
+			live = append(live, p)
 		}
+	}
+	res := &pair{make([]int64, nq), make([]int64, nq)}
+	if len(live) > 0 {
+		res = parallel.MergeTree(live, merge)
 	}
 	share = make([]float64, nq)
 	for q := 0; q < nq; q++ {
-		if total[q] > 0 {
-			share[q] = float64(translated[q]) / float64(total[q])
+		if res.total[q] > 0 {
+			share[q] = float64(res.translated[q]) / float64(res.total[q])
 		}
 	}
 	return v.quarterLabels(), share, nil

@@ -3,6 +3,7 @@ package shard
 import (
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"gdeltmine/internal/bitmap"
 	"gdeltmine/internal/engine"
@@ -42,18 +43,33 @@ func (v *View) quarterLabels() []string {
 	return labels
 }
 
-// sumPerShard fans a per-shard kernel out over every shard and sums the
-// n-length partial counters. The loop over shards is sequential — each
-// kernel is internally parallel — which keeps the reduction order fixed
-// and the integer results deterministic.
+// sumPerShard fans a per-shard kernel out over every shard — every kernel
+// runs concurrently as a pool task, each bound to the worker executing it —
+// and folds the n-length partial counters through a pairwise merge tree.
+// Integer addition is associative and commutative, so the result is exact
+// under any fold shape and matches the monolith bit for bit. Partials land
+// in shard-indexed slots (no cross-shard writes); shards skipped by
+// cancellation leave nil slots, which the merge drops.
 func (v *View) sumPerShard(n int, f func(i int, e *engine.Engine) []int64) []int64 {
-	out := make([]int64, n)
-	for i, e := range v.engines() {
-		for g, c := range f(i, e) {
-			out[g] += c
+	partials := make([][]int64, v.s.K())
+	v.forEachShard(func(_ *parallel.Worker, i int, e *engine.Engine) {
+		partials[i] = f(i, e)
+	})
+	live := partials[:0]
+	for _, p := range partials {
+		if p != nil {
+			live = append(live, p)
 		}
 	}
-	return out
+	if len(live) == 0 {
+		return make([]int64, n)
+	}
+	return parallel.MergeTree(live, func(dst, src []int64) []int64 {
+		for g, c := range src {
+			dst[g] += c
+		}
+		return dst
+	})
 }
 
 // groupCountEvents is the global-event-table analogue of the engine's
@@ -187,18 +203,22 @@ func (v *View) EventsPerQuarter() queries.QuarterlySeries {
 }
 
 // ActiveSourcesPerQuarter computes Figure 3. A source's quarters of
-// activity are the union over shards, so shards fold into a global
-// source×quarter seen table first (shards run sequentially; within one
-// shard local sources map to distinct global rows, so the inner loop is
-// race-free) and the per-quarter distinct counts come off that table.
+// activity are the union over shards, so each shard fills its own
+// source×quarter seen table (within one shard local sources map to
+// distinct global rows, so the shard's inner loop is race-free even when
+// parallel), the tables union through a merge tree — boolean OR is
+// idempotent and commutative, so the fold shape is immaterial — and the
+// per-quarter distinct counts come off the union.
 func (v *View) ActiveSourcesPerQuarter() queries.QuarterlySeries {
 	s := v.s
 	nq := s.NumQuarters()
 	ns := s.sources.Len()
-	seen := make([]bool, ns*nq)
-	for i, p := range s.parts {
+	partials := make([][]bool, s.K())
+	v.forEachShard(func(w *parallel.Worker, i int, _ *engine.Engine) {
+		p := s.parts[i]
 		remap := s.l2gSrc[i]
-		parallel.ForOpt(p.Sources.Len(), v.opt(), func(lo, hi int) {
+		seen := make([]bool, ns*nq)
+		parallel.ForOpt(p.Sources.Len(), v.optW(w), func(lo, hi int) {
 			for ls := lo; ls < hi; ls++ {
 				rows := p.SourceMentions(int32(ls))
 				if len(rows) == 0 {
@@ -210,6 +230,26 @@ func (v *View) ActiveSourcesPerQuarter() queries.QuarterlySeries {
 				}
 			}
 		})
+		partials[i] = seen
+	})
+	live := partials[:0]
+	for _, p := range partials {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	var seen []bool
+	if len(live) > 0 {
+		seen = parallel.MergeTree(live, func(dst, src []bool) []bool {
+			for i, b := range src {
+				if b {
+					dst[i] = true
+				}
+			}
+			return dst
+		})
+	} else {
+		seen = make([]bool, ns*nq)
 	}
 	vals := make([]int64, nq)
 	for g := 0; g < ns; g++ {
@@ -236,33 +276,56 @@ func (v *View) SlowArticlesPerQuarter() queries.QuarterlySeries {
 }
 
 // CountryQuery runs the aggregated country query (Tables V-VII). Pass 1
-// sums the per-shard typed cross-count matrices (country ids are global,
-// so no remap is needed in the reduce); pass 2 builds per-event country
-// bitmasks over global events, unioning each shard's slice of the event.
-// The masks accumulate shard by shard — each shard scans its own postings
-// in parallel over LOCAL events (distinct local events map to distinct
-// global rows, so the writes are race-free) — rather than probing every
-// shard's g2lEv per global event, which keeps pass 2's memory walk as
-// sequential as the monolith's.
+// fans the per-shard typed cross-count matrices out across the pool
+// (country ids are global, so no remap is needed) and folds them through a
+// merge tree; pass 2 builds per-event country bitmasks over global events,
+// unioning each shard's slice of the event. Shards now scan concurrently,
+// and one global event's mentions can span a shard boundary, so the
+// cross-shard mask union is an atomic OR — commutative and idempotent,
+// hence exact under any interleaving; within a shard distinct local events
+// map to distinct global rows, so the atomic is one op per local event,
+// not per mention row.
 func (v *View) CountryQuery() (*queries.CountryReport, error) {
 	s := v.s
 	nc := len(gdelt.Countries)
 
-	cross := matrix.NewInt64(nc, nc)
-	for i, e := range v.engines() {
+	parts := make([]*matrix.Int64, s.K())
+	v.forEachShard(func(_ *parallel.Worker, i int, e *engine.Engine) {
 		p := s.parts[i]
-		part := engine.CrossCountRemap(e, nc, nc,
+		parts[i] = engine.CrossCountRemap(e, nc, nc,
 			p.Mentions.EventRow, p.Events.Country,
 			p.Mentions.Source, p.SourceCountry)
-		if err := cross.AddMatrix(part); err != nil {
+	})
+	cross := matrix.NewInt64(nc, nc)
+	liveParts := parts[:0]
+	for _, m := range parts {
+		if m != nil {
+			liveParts = append(liveParts, m)
+		}
+	}
+	if len(liveParts) > 0 {
+		merged := parallel.MergeTree(liveParts, func(dst, src *matrix.Int64) *matrix.Int64 {
+			if err := dst.AddMatrix(src); err != nil {
+				panic(err) // identical nc×nc shapes by construction
+			}
+			parallel.PutInt64(src.Data)
+			src.Data = nil
+			return dst
+		})
+		// The merged partial is backed by a pooled buffer; fold it into a
+		// caller-owned matrix and recycle the backing.
+		if err := cross.AddMatrix(merged); err != nil {
 			return nil, err
 		}
+		parallel.PutInt64(merged.Data)
+		merged.Data = nil
 	}
 
 	masks := make([]uint64, s.events.Len())
-	for i, p := range s.parts {
+	v.forEachShard(func(w *parallel.Worker, i int, _ *engine.Engine) {
+		p := s.parts[i]
 		remap := s.l2gEv[i]
-		parallel.ForOpt(p.Events.Len(), v.opt(), func(lo, hi int) {
+		parallel.ForOpt(p.Events.Len(), v.optW(w), func(lo, hi int) {
 			for le := lo; le < hi; le++ {
 				rows := p.EventMentions(int32(le))
 				if len(rows) == 0 {
@@ -274,10 +337,10 @@ func (v *View) CountryQuery() (*queries.CountryReport, error) {
 						mask |= 1 << uint(c)
 					}
 				}
-				masks[remap[le]] |= mask
+				atomic.OrUint64(&masks[remap[le]], mask)
 			}
 		})
-	}
+	})
 
 	type partial struct {
 		pair   *matrix.Int64
@@ -341,15 +404,24 @@ func (v *View) PlanSelection(sources []int32) engine.PlanMode {
 		for _, src := range sources {
 			selG[src] = true
 		}
-		var sel, nm int64
-		for i, p := range s.parts {
-			nm += int64(p.Mentions.Len())
+		// Per-shard cardinality sums land in shard-indexed slots and fold
+		// afterwards (exact integer sums, any order).
+		selP := make([]int64, s.K())
+		nmP := make([]int64, s.K())
+		v.forEachShard(func(_ *parallel.Worker, i int, _ *engine.Engine) {
+			p := s.parts[i]
+			nmP[i] = int64(p.Mentions.Len())
 			remap := s.l2gSrc[i]
 			for ls := 0; ls < p.Sources.Len(); ls++ {
 				if selG[remap[ls]] {
-					sel += p.SourceRowBitmap(int32(ls)).Cardinality()
+					selP[i] += p.SourceRowBitmap(int32(ls)).Cardinality()
 				}
 			}
+		})
+		var sel, nm int64
+		for i := range selP {
+			sel += selP[i]
+			nm += nmP[i]
 		}
 		m = engine.PlanRows
 		if nm > 0 && float64(sel)/float64(nm) > engine.RowsPlanThreshold {
@@ -387,24 +459,31 @@ func (v *View) selection(sources []int32, plan engine.PlanMode) *selection {
 		slotG[src] = int32(i) // duplicates resolve to the last occurrence
 	}
 	sel := &selection{slots: make([][]int32, len(s.parts))}
-	for i, p := range s.parts {
+	if plan == engine.PlanRows {
+		sel.rowPtr = make([][]int32, len(s.parts))
+		sel.rowIdx = make([][]int32, len(s.parts))
+	}
+	// Candidate discovery runs one fan-out job per shard: slot tables and
+	// (under the rows plan) the per-shard CSR are shard-indexed, while the
+	// candidate set is a shared bitset — one global event can be discovered
+	// by two shards at once, so bits are set with atomic OR (idempotent and
+	// commutative, exact under any interleaving).
+	var candWords []uint64
+	if plan != engine.PlanScan {
+		candWords = make([]uint64, (s.events.Len()+63)/64)
+	}
+	v.forEachShard(func(_ *parallel.Worker, i int, _ *engine.Engine) {
+		p := s.parts[i]
 		slots := make([]int32, p.Sources.Len())
 		for ls := range slots {
 			slots[ls] = slotG[s.l2gSrc[i][ls]]
 		}
 		sel.slots[i] = slots
-	}
-	if plan == engine.PlanScan {
-		sel.evs = make([]int32, s.events.Len())
-		for ev := range sel.evs {
-			sel.evs[ev] = int32(ev)
+		if plan == engine.PlanScan {
+			return
 		}
-		return sel
-	}
-	cand := make([]bool, s.events.Len())
-	for i, p := range s.parts {
 		var bms []*bitmap.Bitmap
-		for ls, sl := range sel.slots[i] {
+		for ls, sl := range slots {
 			if sl >= 0 {
 				bms = append(bms, p.SourceEventBitmap(int32(ls)))
 			}
@@ -412,26 +491,18 @@ func (v *View) selection(sources []int32, plan engine.PlanMode) *selection {
 		u := bitmap.UnionAll(bms)
 		remap := s.l2gEv[i]
 		u.ForEach(func(le int32) {
-			cand[remap[le]] = true
+			ev := remap[le]
+			atomic.OrUint64(&candWords[ev>>6], 1<<uint(ev&63))
 		})
-	}
-	for ev, ok := range cand {
-		if ok {
-			sel.evs = append(sel.evs, int32(ev))
-		}
-	}
-	if plan == engine.PlanRows {
-		sel.rowPtr = make([][]int32, len(s.parts))
-		sel.rowIdx = make([][]int32, len(s.parts))
-		for i, p := range s.parts {
-			var bms []*bitmap.Bitmap
-			for ls, sl := range sel.slots[i] {
+		if plan == engine.PlanRows {
+			var rbms []*bitmap.Bitmap
+			for ls, sl := range slots {
 				if sl >= 0 {
-					bms = append(bms, p.SourceRowBitmap(int32(ls)))
+					rbms = append(rbms, p.SourceRowBitmap(int32(ls)))
 				}
 			}
-			u := bitmap.UnionAll(bms)
-			rows := u.AppendRows(make([]int32, 0, u.Cardinality()))
+			ru := bitmap.UnionAll(rbms)
+			rows := ru.AppendRows(make([]int32, 0, ru.Cardinality()))
 			ptr := make([]int32, p.Events.Len()+1)
 			for _, r := range rows {
 				ptr[p.Mentions.EventRow[r]+1]++
@@ -447,6 +518,22 @@ func (v *View) selection(sources []int32, plan engine.PlanMode) *selection {
 				cur[le]++
 			}
 			sel.rowPtr[i], sel.rowIdx[i] = ptr, idx
+		}
+	})
+	if plan == engine.PlanScan {
+		sel.evs = make([]int32, s.events.Len())
+		for ev := range sel.evs {
+			sel.evs[ev] = int32(ev)
+		}
+		return sel
+	}
+	// Walking words in order and bits low-to-high yields the same ascending
+	// candidate list as the sequential boolean walk did.
+	for wi, word := range candWords {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			sel.evs = append(sel.evs, int32(wi*64+b))
 		}
 	}
 	return sel

@@ -168,6 +168,35 @@ func (v *View) opt() parallel.Options {
 	return parallel.Options{Workers: v.workers, Context: v.ctx}
 }
 
+// optW returns the view's options bound to the pool worker executing the
+// calling shard job, so raw loops inside forEachShard bodies advertise
+// their grains on that worker's own deque (shard affinity) instead of the
+// global injection queue.
+func (v *View) optW(w *parallel.Worker) parallel.Options {
+	opt := v.opt()
+	opt.Worker = w
+	return opt
+}
+
+// forEachShard is the cross-shard fan-out primitive: job runs once per
+// shard, all shards concurrently as top-level tasks on the work-stealing
+// pool (parallel.FanOut), so small shards never serialize behind large
+// ones — a worker finishing its shard steals grains from the shards still
+// running. Each job receives the executing pool worker (nil when run
+// inline or by a non-pool joiner) and the shard's engine bound to that
+// worker, which routes inner kernel grains and accumulator reuse to the
+// worker that started the shard. Jobs must write only shard-indexed state;
+// anything cross-shard needs commutative atomics. Under cancellation
+// unclaimed jobs are skipped — their output slots stay zero — and
+// forEachShard still returns only after in-flight jobs finish, so no task
+// of the fan-out survives the call.
+func (v *View) forEachShard(job func(w *parallel.Worker, i int, e *engine.Engine)) {
+	engines := v.engines()
+	parallel.FanOut(len(engines), v.opt(), func(w *parallel.Worker, i int) {
+		job(w, i, engines[i].WithWorker(w))
+	})
+}
+
 // engines returns one engine per shard, each carrying the view's workers,
 // context and kind, and — when the view is windowed — the window clipped
 // by each engine to its own mention rows. Every shard gets an engine even
