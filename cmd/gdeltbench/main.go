@@ -66,6 +66,10 @@ func main() {
 		routerBench = flag.Bool("router-bench", false, "run the routed-vs-direct serving benchmark instead of the paper artifacts")
 		routerJSON  = flag.String("router-json", "", "write router benchmark results as JSON to this file")
 
+		streamBench = flag.Bool("stream-bench", false, "run the streaming append+compaction benchmark with concurrent queries instead of the paper artifacts")
+		streamJSON  = flag.String("stream-json", "", "write stream benchmark results as JSON to this file")
+		streamTick  = flag.Duration("stream-tick", 200*time.Millisecond, "stream benchmark: wall time per feed tick; also the hard latency bound on concurrent queries")
+
 		kernelBench   = flag.Bool("kernel-bench", false, "run the scan-kernel micro-benchmark (closure vs typed vs pruned) instead of the paper artifacts")
 		kernelJSON    = flag.String("kernel-json", "", "write kernel benchmark results as JSON to this file")
 		kernelWorkers = flag.Int("kernel-workers", 4, "worker count for the kernel benchmark")
@@ -108,6 +112,16 @@ func main() {
 				log.Fatal(err)
 			}
 		}()
+	}
+
+	// The stream bench builds its own world (it needs the raw corpus
+	// records as feed ticks, not a converted dataset), so it dispatches
+	// before the shared corpus pipeline.
+	if *streamBench {
+		if err := runStreamBench(*streamJSON, *streamTick); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	h := &harness{only: selection{table: *table, figure: *figure}, timings: map[string]float64{}}

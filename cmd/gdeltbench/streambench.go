@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/gen"
+	"gdeltmine/internal/registry"
+	"gdeltmine/internal/shard"
+	"gdeltmine/internal/store"
+)
+
+// streamBenchResult is the artifact written to -stream-json: sustained
+// append-path throughput with a durable compactor sealing along the way,
+// and the latency distribution of queries running concurrently against the
+// log's snapshots. The hard gate is MaxQuerySeconds <= TickSeconds —
+// appends and seals must never block a query for longer than one feed
+// tick, which holds structurally because the log publishes copy-on-write
+// snapshots and readers never take the writer's lock.
+type streamBenchResult struct {
+	Ticks           int     `json:"ticks"`
+	AppendedRows    int     `json:"appended_rows"`
+	Seals           int     `json:"seals"`
+	FinalShards     int     `json:"final_shards"`
+	AppendSeconds   float64 `json:"append_seconds"` // summed time inside Append, not ticker waits
+	SealSeconds     float64 `json:"seal_seconds"`   // summed time inside durable seals
+	RowsPerSecond   float64 `json:"rows_per_second"`
+	Queriers        int     `json:"queriers"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	Queries         int     `json:"queries"`
+	QueryP50Seconds float64 `json:"query_p50_seconds"`
+	QueryP99Seconds float64 `json:"query_p99_seconds"`
+	MaxQuerySeconds float64 `json:"max_query_seconds"`
+	TickSeconds     float64 `json:"tick_seconds"`
+	AllowedSeconds  float64 `json:"allowed_seconds"`
+	GatePassed      bool    `json:"gate_passed"`
+}
+
+// streamBenchKinds is the concurrent query panel: cheap enough to loop
+// while appends land, varied enough to touch events, mentions and the
+// per-source postings.
+var streamBenchKinds = []string{"top-publishers", "country", "series-articles"}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runStreamBench replays the production cadence against a durable append
+// log: the back half of a bench corpus arrives as real-time feed ticks
+// (one append per tick period) with the compactor sealing the tail every
+// few days of data, while querier goroutines hammer the log's snapshots
+// the whole time. Reported: sustained append throughput and the
+// concurrent-query latency distribution; gated: no query may ever take
+// longer than one tick.
+func runStreamBench(jsonPath string, tick time.Duration) error {
+	cfg := gen.Bench()
+	cfg.End = 20170101000000 // two years: parts stay seal-sized
+	c, err := gen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	intervals := int32(c.World.Days() * gdelt.IntervalsPerDay)
+	cut := intervals - 40*gdelt.IntervalsPerDay
+	step := 2 * int32(gdelt.IntervalsPerDay)
+
+	b, err := store.NewBuilder(gdelt.Timestamp(cfg.Start), intervals)
+	if err != nil {
+		return err
+	}
+	for i := range c.Events {
+		ev := c.EventRecord(i)
+		b.AddEvent(&ev)
+	}
+	held := 0
+	for j := range c.Mentions {
+		if c.Mentions[j].Interval >= cut {
+			held++
+			continue
+		}
+		mn := c.MentionRecord(j)
+		b.AddMention(&mn)
+	}
+	db, _, err := b.Finish()
+	if err != nil {
+		return err
+	}
+	sdb, err := shard.Split(db, 6)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "gdeltbench-streamlog-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// Durable log: seals pay the real write+fsync+rename cost.
+	lg, err := shard.CreateLog(dir, sdb)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stream bench: %d withheld mention rows over %d ticks of %v (seal every 6 days of data)\n",
+		held, (intervals-cut+step-1)/step, tick)
+
+	// Queriers: loop the panel against whatever snapshot is current until
+	// the appender finishes. One worker per kind execution keeps each query
+	// serial so its latency is comparable across the run; the querier count
+	// is capped at the core count so the measurement is of blocking, not of
+	// deliberate CPU oversubscription.
+	queriers := runtime.GOMAXPROCS(0)
+	if queriers > 4 {
+		queriers = 4
+	}
+	done := make(chan struct{})
+	var qmu sync.Mutex
+	var latencies []float64
+	var wg sync.WaitGroup
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				kind := streamBenchKinds[(q+i)%len(streamBenchKinds)]
+				d := registry.MustLookup(kind)
+				p, err := d.ParseParams(func(string) []string { return nil })
+				if err != nil {
+					panic(err)
+				}
+				t0 := time.Now()
+				if _, err := d.RunSharded(lg.Snapshot().View().WithWorkers(1).WithKind(kind), p); err != nil {
+					panic(fmt.Sprintf("stream bench query %s: %v", kind, err))
+				}
+				qmu.Lock()
+				latencies = append(latencies, time.Since(t0).Seconds())
+				qmu.Unlock()
+			}
+		}(q)
+	}
+
+	// Appender: one tick per period, sealing once the tail holds 6 days.
+	res := streamBenchResult{TickSeconds: tick.Seconds(),
+		Queriers: queriers, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	ticker := time.NewTicker(tick)
+	var appendTime, sealTime time.Duration
+	for lo := cut; lo < intervals; lo += step {
+		hi := lo + step
+		var ch []gdelt.Mention
+		for j := range c.Mentions {
+			if iv := c.Mentions[j].Interval; iv >= lo && iv < hi {
+				ch = append(ch, c.MentionRecord(j))
+			}
+		}
+		<-ticker.C
+		t0 := time.Now()
+		if len(ch) > 0 {
+			if _, err := lg.Append(nil, ch); err != nil {
+				return err
+			}
+		}
+		appendTime += time.Since(t0)
+		if lg.TailSpan() >= 6*gdelt.IntervalsPerDay {
+			t0 = time.Now()
+			sealed, err := lg.Seal()
+			if err != nil {
+				return err
+			}
+			sealTime += time.Since(t0)
+			if sealed {
+				res.Seals++
+			}
+		}
+		res.Ticks++
+		res.AppendedRows += len(ch)
+	}
+	ticker.Stop()
+	close(done)
+	wg.Wait()
+
+	res.FinalShards = lg.Snapshot().K()
+	res.AppendSeconds = appendTime.Seconds()
+	res.SealSeconds = sealTime.Seconds()
+	if res.AppendSeconds > 0 {
+		res.RowsPerSecond = float64(res.AppendedRows) / res.AppendSeconds
+	}
+	sort.Float64s(latencies)
+	res.Queries = len(latencies)
+	res.QueryP50Seconds = quantile(latencies, 0.50)
+	res.QueryP99Seconds = quantile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		res.MaxQuerySeconds = latencies[n-1]
+	}
+	// The gate: no query may be held up longer than one feed tick by
+	// concurrent append/seal work. Readers run on copy-on-write snapshots
+	// and never take the writer's lock, so the only delay is CPU
+	// contention — on a host with fewer cores than runnable goroutines the
+	// bound scales by the oversubscription factor (appender + queriers
+	// sharing GOMAXPROCS cores), mirroring the shard bench's core-scaled
+	// requirement.
+	oversub := float64(queriers+1) / float64(runtime.GOMAXPROCS(0))
+	if oversub < 1 {
+		oversub = 1
+	}
+	res.AllowedSeconds = res.TickSeconds * oversub
+	res.GatePassed = res.MaxQuerySeconds <= res.AllowedSeconds
+
+	fmt.Printf("appended %d rows over %d ticks: %.3fs appending (%.0f rows/s), %.3fs in %d durable seals, %d final shards\n",
+		res.AppendedRows, res.Ticks, res.AppendSeconds, res.RowsPerSecond, res.SealSeconds, res.Seals, res.FinalShards)
+	fmt.Printf("concurrent queries (%d queriers on %d cores): %d, p50 %.1fms, p99 %.1fms, max %.1fms (bound %.0fms = tick %v x oversubscription)\n",
+		res.Queriers, res.GoMaxProcs, res.Queries, res.QueryP50Seconds*1e3,
+		res.QueryP99Seconds*1e3, res.MaxQuerySeconds*1e3, res.AllowedSeconds*1e3, tick)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if !res.GatePassed {
+		return fmt.Errorf("stream bench gate: max concurrent query latency %.1fms exceeds the core-scaled tick bound %.1fms — appends are blocking readers",
+			res.MaxQuerySeconds*1e3, res.AllowedSeconds*1e3)
+	}
+	return nil
+}

@@ -12,10 +12,24 @@
 // order. With -checkpoint the monitor state is persisted so a restarted
 // replay resumes from where it stopped, consuming only unseen chunks.
 //
+// Beyond replay, two production-cadence modes cover the live loop end to
+// end. -live polls a feed endpoint speaking the real GDELT convention
+// (lastupdate.txt for the newest tick, masterfilelist.txt for catch-up)
+// and folds every tick into a partitioned append log whose background
+// compactor seals the mutable tail into immutable indexed shards.
+// -serve-feed turns a raw dataset directory into such an endpoint locally,
+// advancing one tick per -feed-tick with optional fault injection
+// (outages, duplicate advertisements, reordered drops) for resilience
+// drills.
+//
 // Usage:
 //
 //	gdeltstream -in ./dataset [-window 8] [-min 5] [-grace 8] [-retries 5]
 //	            [-checkpoint state.json] [-progress 10000]
+//	gdeltstream -live http://host:8090 [-poll 2s] [-max-polls N]
+//	            [-seal-rows N] [-seal-span N] [-checkpoint state.json]
+//	gdeltstream -in ./dataset -serve-feed :8090 [-feed-tick 2s]
+//	            [-feed-outage 0.05] [-feed-dup 0.05] [-feed-drop 0.05]
 //
 // Exit codes: 0 success, 1 fatal error (or interrupted), 2 usage,
 // 3 replay finished with unresolved missing intervals.
@@ -37,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"gdeltmine/internal/faults"
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/gen"
 	"gdeltmine/internal/ingest"
@@ -56,15 +71,48 @@ func main() {
 		retries  = flag.Int("retries", 5, "chunk read attempts before declaring a gap")
 		ckptPath = flag.String("checkpoint", "", "persist monitor state here and resume from it if present")
 		progress = flag.Int("progress", 100000, "print a snapshot every N articles (0 disables)")
+
+		// Live-feed mode: poll a lastupdate/masterfile endpoint instead of
+		// replaying a local directory.
+		live     = flag.String("live", "", "live feed base URL; poll it instead of replaying -in")
+		poll     = flag.Duration("poll", 2*time.Second, "live mode: poll period")
+		maxPolls = flag.Int("max-polls", 0, "live mode: stop after N polls (0 = until interrupted)")
+		tickIv   = flag.Int("tick-intervals", 1, "live mode: capture intervals per feed tick")
+		sealRows = flag.Int("seal-rows", 0, "live mode: compactor row threshold (0 = default)")
+		sealSpan = flag.Int("seal-span", 0, "live mode: compactor age threshold in intervals (0 = default)")
+
+		// Feed-server mode: serve -in over the live protocol for local drills.
+		serveFeed = flag.String("serve-feed", "", "serve -in as a live feed on this address (e.g. :8090)")
+		feedTick  = flag.Duration("feed-tick", 2*time.Second, "feed server: wall time per feed tick")
+		feedSeed  = flag.Int64("feed-seed", 1, "feed server: fault-injection seed")
+		feedOut   = flag.Float64("feed-outage", 0, "feed server: per-tick outage probability")
+		feedDup   = flag.Float64("feed-dup", 0, "feed server: per-tick duplicate-advertisement probability")
+		feedDrop  = flag.Float64("feed-drop", 0, "feed server: per-tick reordered-drop probability")
 	)
 	flag.Parse()
-	if *in == "" {
+	if *in == "" && *live == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *serveFeed != "" {
+		runFeedServer(ctx, *serveFeed, *in, *feedTick, &faults.FeedChaos{
+			Seed: *feedSeed, OutageProb: *feedOut, DuplicateProb: *feedDup, DropProb: *feedDrop,
+		})
+		return
+	}
+	if *live != "" {
+		runLive(ctx, *live,
+			stream.Config{Window: int32(*window), MinSources: *minSrc,
+				GraceIntervals: int32(*grace), ChunkIntervals: int32(*tickIv)},
+			stream.LiveConfig{TickIntervals: int32(*tickIv)},
+			stream.CompactorConfig{MaxTailRows: *sealRows, MaxTailSpan: int32(*sealSpan)},
+			*poll, *maxPolls, *ckptPath)
+		return
+	}
 
 	f, err := os.Open(filepath.Join(*in, gen.MasterFileName))
 	if err != nil {

@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"gdeltmine/internal/engine"
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/gen"
+	"gdeltmine/internal/registry"
+	"gdeltmine/internal/shard"
+)
+
+// Compaction-differential battery: a world grown the streaming way — batch
+// prefix, then feed ticks appended into the log's mutable tail with the
+// compactor sealing along the way — must answer every registered query
+// kind exactly like the same rows batch-built in one shot. This is the pin
+// for the whole append-log lifecycle: COW clone depths on append, seal
+// slicing, version carry-forward, and the derived-index rebuild for sealed
+// parts. Any divergence (a stale per-event counter in a cold shard, a
+// mention sliced into the wrong side of a seal cut, an index not rebuilt)
+// surfaces as a wrong answer on some kind. ci.sh runs this under -race.
+
+// appendAndCompact grows a log from the truncated prefix: the withheld
+// mentions arrive as tick-sized chunks, with a seal after every third
+// chunk and a final seal, mirroring the compactor's cadence.
+func appendAndCompact(t *testing.T, c *gen.Corpus, k int, cut, step int32) *shard.Log {
+	t.Helper()
+	prefix, _ := buildTruncated(t, c, cut)
+	sdb, err := shard.Split(prefix, k)
+	if err != nil {
+		t.Fatalf("Split(%d): %v", k, err)
+	}
+	lg := shard.NewLog(sdb)
+	intervals := int32(c.World.Days() * gdelt.IntervalsPerDay)
+	ticks := 0
+	for lo := cut; lo < intervals; lo += step {
+		hi := lo + step
+		var ch []gdelt.Mention
+		for j := range c.Mentions {
+			if iv := c.Mentions[j].Interval; iv >= lo && iv < hi {
+				ch = append(ch, c.MentionRecord(j))
+			}
+		}
+		if len(ch) == 0 {
+			continue
+		}
+		if _, err := lg.Append(nil, ch); err != nil {
+			t.Fatalf("append [%d,%d): %v", lo, hi, err)
+		}
+		if ticks++; ticks%3 == 0 {
+			if _, err := lg.Seal(); err != nil {
+				t.Fatalf("seal after tick %d: %v", ticks, err)
+			}
+		}
+	}
+	if ticks < 4 {
+		t.Fatalf("only %d feed ticks; widen the suffix", ticks)
+	}
+	if _, err := lg.Seal(); err != nil {
+		t.Fatalf("final seal: %v", err)
+	}
+	return lg
+}
+
+func TestCompactionDifferentialAllKinds(t *testing.T) {
+	alt := gen.Small()
+	alt.Seed = 777
+	alt.End = 20170101000000
+	worlds := []struct {
+		name string
+		cfg  gen.Config
+	}{
+		{"seed42", gen.Small()},
+		{"seed777", alt},
+	}
+	params := func(string) []string { return nil }
+	for _, w := range worlds {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			c, err := gen.Generate(w.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			intervals := int32(c.World.Days() * gdelt.IntervalsPerDay)
+			cut := intervals - 14*gdelt.IntervalsPerDay
+			step := 2 * int32(gdelt.IntervalsPerDay)
+
+			// Batch reference: every corpus row in one monolithic build.
+			// buildTruncated skips GKG, so the GKG-only kinds sit this
+			// battery out (appends never extend GKG either).
+			full, _ := buildTruncated(t, c, -1)
+			refs := map[string]any{}
+			for _, d := range registry.All() {
+				if d.NeedsGKG {
+					continue
+				}
+				p, err := d.ParseParams(params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := d.Run(engine.New(full).WithWorkers(1).WithKind(d.Kind), p)
+				if err != nil {
+					t.Fatalf("%s: monolith: %v", d.Kind, err)
+				}
+				refs[d.Kind] = jsonTree(t, ref)
+			}
+
+			for _, k := range []int{1, 4} {
+				lg := appendAndCompact(t, c, k, cut, step)
+				live := lg.Snapshot()
+				if live.K() <= k {
+					t.Fatalf("K=%d after seals, want more than the initial %d", live.K(), k)
+				}
+				for _, workers := range []int{1, 4} {
+					t.Run(fmt.Sprintf("k%d/w%d", k, workers), func(t *testing.T) {
+						v := live.View().WithWorkers(workers)
+						for _, d := range registry.All() {
+							refTree, ok := refs[d.Kind]
+							if !ok {
+								continue
+							}
+							p, err := d.ParseParams(params)
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := d.RunSharded(v.WithKind(d.Kind), p)
+							if err != nil {
+								t.Errorf("%s: compacted: %v", d.Kind, err)
+								continue
+							}
+							if err := eqTree(d.Kind, refTree, jsonTree(t, got)); err != nil {
+								t.Errorf("%s: append+compact world diverges from batch build: %v", d.Kind, err)
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}

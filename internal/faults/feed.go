@@ -1,0 +1,75 @@
+package faults
+
+import "fmt"
+
+// FeedFault enumerates the live-feed misbehaviors the test feed server can
+// inject per 15-minute tick. They model the delivery failures of the real
+// lastupdate/masterfile convention rather than of individual chunk files
+// (Config covers those): the feed endpoint itself goes down, republishes a
+// stale lastupdate, or publishes a tick's files late and out of order.
+type FeedFault int
+
+const (
+	// FeedNone publishes the tick normally.
+	FeedNone FeedFault = iota
+	// FeedOutage makes the lastupdate endpoint return a server error for
+	// the tick's whole lifetime at the head of the feed.
+	FeedOutage
+	// FeedDuplicate republishes the previous tick's lastupdate instead of
+	// the new one — pollers see the same tick advertised twice and must
+	// deduplicate; the new tick is only discoverable via the master list.
+	FeedDuplicate
+	// FeedDrop withholds the tick's files entirely until DropDelay later
+	// ticks have been published, then surfaces them only in the master
+	// list — a reordered drop: pollers see newer ticks first and must
+	// buffer them while recovering the missing one out of order.
+	FeedDrop
+)
+
+var feedFaultNames = map[FeedFault]string{
+	FeedNone: "none", FeedOutage: "outage",
+	FeedDuplicate: "duplicate", FeedDrop: "drop",
+}
+
+func (f FeedFault) String() string {
+	if s, ok := feedFaultNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("FeedFault(%d)", int(f))
+}
+
+// DropDelay is how many ticks late a FeedDrop tick's files land.
+const DropDelay = 2
+
+// FeedChaos assigns per-tick faults to a simulated live feed. Explicit
+// Plan entries (keyed by tick timestamp string) win; other ticks draw from
+// the probability fields via a hash of (Seed, tick), so runs are
+// deterministic and order-independent, same as Config for chunk faults.
+type FeedChaos struct {
+	Seed          int64
+	OutageProb    float64
+	DuplicateProb float64
+	DropProb      float64
+	Plan          map[string]FeedFault
+}
+
+// FaultFor returns the fault assigned to one tick, identified by its
+// timestamp string.
+func (c *FeedChaos) FaultFor(tick string) FeedFault {
+	if c == nil {
+		return FeedNone
+	}
+	if f, ok := c.Plan[tick]; ok {
+		return f
+	}
+	u := unitDraw(c.Seed, "feed", tick)
+	switch {
+	case u < c.OutageProb:
+		return FeedOutage
+	case u < c.OutageProb+c.DuplicateProb:
+		return FeedDuplicate
+	case u < c.OutageProb+c.DuplicateProb+c.DropProb:
+		return FeedDrop
+	}
+	return FeedNone
+}

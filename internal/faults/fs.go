@@ -1,0 +1,64 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FSStep is one observed step of a crash-safe persist protocol: the
+// operation name (shard.OpWritePart, shard.OpSyncDir, ...) and the path it
+// was about to touch.
+type FSStep struct {
+	Op   string
+	Path string
+}
+
+// ErrInjectedCrash is the error FSPlan injects at its kill point. The
+// compactor treats it like any other I/O failure; the crash harness treats
+// the whole process as if it had died at that exact step.
+type ErrInjectedCrash struct {
+	Step int
+	Op   string
+	Path string
+}
+
+func (e *ErrInjectedCrash) Error() string {
+	return fmt.Sprintf("faults: injected crash at step %d (%s %s)", e.Step, e.Op, e.Path)
+}
+
+// FSPlan deterministically kills a persist protocol at one chosen step.
+// Its Hook method satisfies shard.StepHook: it records every step it
+// observes and returns an injected error the moment the 1-based step
+// counter reaches FailStep. With FailStep 0 it only records — a first
+// "recording" run enumerates the protocol's steps so a harness can then
+// replay the same workload once per step with FailStep = 1..N, covering
+// every write/rename/fsync point without knowing the protocol's shape in
+// advance.
+type FSPlan struct {
+	// FailStep is the 1-based step at which Hook injects a failure;
+	// 0 disables injection (recording mode).
+	FailStep int
+
+	mu    sync.Mutex
+	steps []FSStep
+}
+
+// Hook observes one protocol step, failing it if it is the planned kill
+// point. The step is recorded either way, so Steps() after a failed run
+// shows exactly how far the protocol got.
+func (p *FSPlan) Hook(op, path string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.steps = append(p.steps, FSStep{Op: op, Path: path})
+	if p.FailStep > 0 && len(p.steps) == p.FailStep {
+		return &ErrInjectedCrash{Step: p.FailStep, Op: op, Path: path}
+	}
+	return nil
+}
+
+// Steps returns a copy of every step observed so far, in order.
+func (p *FSPlan) Steps() []FSStep {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]FSStep(nil), p.steps...)
+}

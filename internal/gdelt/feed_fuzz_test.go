@@ -1,0 +1,60 @@
+package gdelt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzFeedProtocol fuzzes the lastupdate/masterfile protocol parser. The
+// live poller feeds raw HTTP bodies straight into ReadLastUpdate, so the
+// parser must never panic, and the strict and tolerant readers must agree:
+// whenever the strict reader accepts an input, the tolerant master-list
+// reader must see zero malformed lines and the same entries, and every
+// accepted entry must round-trip byte-identically through
+// FormatMasterEntry. Kind and Interval must be total on accepted entries.
+func FuzzFeedProtocol(f *testing.F) {
+	f.Add([]byte("1024 0a1b2c3d 20150218230000.export.csv\n"))
+	f.Add([]byte("0 00000000 20150218230000.mentions.csv"))
+	f.Add([]byte("7 deadbeef 20150218230000.gkg.csv\n512 cafebabe 20150219001500.export.csv\n"))
+	f.Add([]byte("  99 ffffffff http://data.gdeltproject.org/gdeltv2/20150218230000.export.csv  \n\n"))
+	f.Add([]byte("corrupt entry 0 without proper fields\n"))
+	f.Add([]byte("-1 0a1b2c3d 20150218230000.export.csv\n"))
+	f.Add([]byte("1024 0a1b2c3 20150218230000.export.csv\n"))
+	f.Add([]byte("1024 0a1b2c3d 20150218230000.unknown.csv\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ReadLastUpdate(bytes.NewReader(data))
+		if err != nil {
+			// Strict rejection is always a valid outcome; it must just not
+			// have panicked to get here.
+			return
+		}
+		ml, mlErr := ReadMasterList(bytes.NewReader(data))
+		if mlErr != nil {
+			t.Fatalf("strict reader accepted input the tolerant reader cannot stream: %v", mlErr)
+		}
+		if len(ml.Malformed) != 0 {
+			t.Fatalf("strict reader accepted input with %d tolerant-malformed lines: %q", len(ml.Malformed), ml.Malformed)
+		}
+		if !reflect.DeepEqual(ml.Entries, entries) {
+			t.Fatalf("strict and tolerant readers disagree: %v vs %v", entries, ml.Entries)
+		}
+		for _, e := range entries {
+			line := FormatMasterEntry(e)
+			back, err := ParseMasterEntry(line)
+			if err != nil {
+				t.Fatalf("accepted entry %+v does not re-parse: %v", e, err)
+			}
+			if back != e {
+				t.Fatalf("entry round-trip changed: %+v -> %q -> %+v", e, line, back)
+			}
+			if e.Kind() == "" {
+				t.Fatalf("accepted entry %+v has no kind", e)
+			}
+			// Interval may legitimately fail (paths need no timestamp), but
+			// it must be total.
+			_, _ = e.Interval()
+		}
+	})
+}

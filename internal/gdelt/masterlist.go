@@ -106,6 +106,33 @@ func ReadMasterList(r io.Reader) (*MasterList, error) {
 	return ml, nil
 }
 
+// ReadLastUpdate parses a lastupdate stream — the small file the live feed
+// rewrites every 15 minutes listing the newest tick's files. Unlike the
+// master list, which spans years and tolerates the malformed lines the
+// paper catalogued, lastupdate is tiny and regenerated constantly: a line
+// that does not parse means the feed is mid-rewrite or corrupt, so the
+// whole read fails and the poller simply retries next tick.
+func ReadLastUpdate(r io.Reader) ([]MasterEntry, error) {
+	var entries []MasterEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		e, err := ParseMasterEntry(line)
+		if err != nil {
+			return nil, fmt.Errorf("gdelt: lastupdate: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gdelt: reading lastupdate: %w", err)
+	}
+	return entries, nil
+}
+
 // WriteMasterList renders entries (and raw malformed lines, if any, in their
 // original form) to w.
 func WriteMasterList(w io.Writer, ml *MasterList) error {

@@ -116,8 +116,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := ReadyStatus{Status: "ready"}
-	if s.sview != nil {
-		sdb := s.sview.DB()
+	view := s.sview
+	if s.snap != nil {
+		view = s.snap()
+	}
+	if view != nil {
+		sdb := view.DB()
 		sh := &ShardStatus{
 			Count:       sdb.K(),
 			Bounds:      sdb.Bounds(),

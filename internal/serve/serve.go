@@ -41,6 +41,7 @@ type Server struct {
 	db        *store.DB
 	eng       *engine.Engine
 	sview     *shard.View // non-nil when serving a sharded dataset
+	snap      func() *shard.View // non-nil when serving a live append log
 	cfg       Config
 	handler   http.Handler
 	slots     chan struct{} // load-shedding semaphore, nil when unlimited
@@ -91,6 +92,22 @@ func NewWithConfig(db *store.DB, cfg Config) *Server {
 // append keeps results for cold shards warm.
 func NewSharded(sdb *shard.DB, cfg Config) *Server {
 	return newServer(&Server{sview: sdb.View()}, cfg)
+}
+
+// NewLive returns a server over a live append log. Each request resolves
+// the log's current snapshot, so results reflect every append folded
+// before the request arrived while in-flight queries keep reading the
+// snapshot they started on (shard.Log publishes copy-on-write worlds).
+// The cache staleness predicate also consults the current snapshot:
+// append bumps the tail shard's version, so exactly the cached windows
+// overlapping the tail retire while cold-shard results stay warm.
+func NewLive(lg *shard.Log, cfg Config) *Server {
+	s := &Server{snap: func() *shard.View { return lg.Snapshot().View() }}
+	s = newServer(s, cfg)
+	if s.exec.Cache != nil {
+		s.exec.Cache.SetStale(func(k qcache.Key) bool { return lg.Snapshot().StaleKey(k) })
+	}
+	return s
 }
 
 func newServer(s *Server, cfg Config) *Server {
@@ -211,8 +228,13 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, d *registry.
 		v       any
 		outcome qcache.Outcome
 	)
-	if s.sview != nil {
-		sv := s.sview.WithContext(r.Context())
+	base := s.sview
+	if s.snap != nil {
+		// Live mode: pin this request to the log's snapshot as of now.
+		base = s.snap()
+	}
+	if base != nil {
+		sv := base.WithContext(r.Context())
 		if kind != "" {
 			sv = sv.WithKind(kind)
 		}

@@ -1,0 +1,109 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"gdeltmine/internal/gdelt"
+)
+
+// Copy-on-write clone support for the partitioned append log
+// (internal/shard.Log). Published snapshots are immutable: the append path
+// clones exactly the state the tail fold will mutate and shares everything
+// else. Two clone depths exist because shard.AppendTail mutates two very
+// different amounts of state:
+//
+//   - The tail part is rewritten wholesale (tables, local dictionary,
+//     every derived index) — it needs DeepClone.
+//   - Non-tail parts only have the three global per-event metadata columns
+//     (NumArticles, FirstMention, Interval) written in place for adopted
+//     events; no derived index reads those columns, so
+//     CloneWithFreshEventMeta copies just them and shares all other
+//     storage with the published snapshot.
+
+// SetVersion pins the snapshot version on a clone (AssembleDB starts every
+// assembly back at 0). The append log relies on it twice: a deep-cloned
+// tail must carry its original's version forward so tail-window cache keys
+// stay comparable, and a seal hands the old tail's version to both the
+// sealed part and the fresh tail. The carry-forward is safe for cache
+// keys because data only ever changes through appends, and every append
+// bumps the (cloned) tail's version — so any window whose rows changed
+// gains a strictly larger version component than any key minted before.
+func (db *DB) SetVersion(v uint64) { atomic.StoreUint64(&db.version, v) }
+
+// Clone returns an independent dictionary with identical ids. The append
+// path clones the shard-global dictionary before interning new chunk
+// sources into it: Intern writes the map that readers of the published
+// snapshot may be ranging over.
+func (d *Dictionary) Clone() *Dictionary {
+	c := &Dictionary{
+		byName: make(map[string]int32, len(d.byName)),
+		names:  append([]string(nil), d.names...),
+	}
+	for name, id := range d.byName {
+		c.byName[name] = id
+	}
+	return c
+}
+
+// cloneReport deep-copies a validation report. The report has no internal
+// locking — appends record new defects into it freely — so a clone that
+// will be appended to must never share one with a published snapshot.
+func cloneReport(r *gdelt.ValidationReport) *gdelt.ValidationReport {
+	if r == nil {
+		return nil
+	}
+	c := &gdelt.ValidationReport{Counts: r.Counts, MaxExamples: r.MaxExamples}
+	for i := range r.Examples {
+		c.Examples[i] = append([]string(nil), r.Examples[i]...)
+	}
+	return c
+}
+
+// DeepClone returns a fully independent copy of the store: fresh table
+// columns, a cloned dictionary and report, and derived indexes rebuilt
+// from scratch by AssembleDB. The GKG store is shared by pointer — the
+// append path never extends GKG, and the cloned dictionary preserves every
+// source id GKG rows reference. The snapshot version carries over.
+func (db *DB) DeepClone() (*DB, error) {
+	ev := EventTable{
+		ID:           append([]int64(nil), db.Events.ID...),
+		Day:          append([]int32(nil), db.Events.Day...),
+		Interval:     append([]int32(nil), db.Events.Interval...),
+		Country:      append([]int16(nil), db.Events.Country...),
+		NumArticles:  append([]int32(nil), db.Events.NumArticles...),
+		FirstMention: append([]int32(nil), db.Events.FirstMention...),
+		SourceURL:    append([]string(nil), db.Events.SourceURL...),
+	}
+	mn := MentionTable{
+		EventRow:   append([]int32(nil), db.Mentions.EventRow...),
+		Source:     append([]int32(nil), db.Mentions.Source...),
+		Interval:   append([]int32(nil), db.Mentions.Interval...),
+		Delay:      append([]int32(nil), db.Mentions.Delay...),
+		DocLen:     append([]int32(nil), db.Mentions.DocLen...),
+		Tone:       append([]float32(nil), db.Mentions.Tone...),
+		Confidence: append([]int8(nil), db.Mentions.Confidence...),
+	}
+	c, err := AssembleDB(db.Meta, db.Sources.Clone(), ev, mn, cloneReport(db.Report))
+	if err != nil {
+		return nil, err
+	}
+	c.GKG = db.GKG
+	c.SetVersion(db.Version())
+	return c, nil
+}
+
+// CloneWithFreshEventMeta returns a shallow copy of the store with fresh
+// copies of only the three per-event metadata columns AppendTail
+// propagates in place (Interval, NumArticles, FirstMention). Everything
+// else — mention columns, dictionaries, postings, bitmaps, GKG — is shared
+// with the original, which stays untouched. The version field is a plain
+// word precisely so this struct copy is legal; the copy happens under the
+// append log's writer lock, never concurrently with a version bump.
+func (db *DB) CloneWithFreshEventMeta() *DB {
+	c := new(DB)
+	*c = *db
+	c.Events.Interval = append([]int32(nil), db.Events.Interval...)
+	c.Events.NumArticles = append([]int32(nil), db.Events.NumArticles...)
+	c.Events.FirstMention = append([]int32(nil), db.Events.FirstMention...)
+	return c
+}

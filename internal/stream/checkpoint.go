@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"gdeltmine/internal/gdelt"
 	"gdeltmine/internal/stats"
@@ -102,17 +103,55 @@ func FromCheckpoint(cp *Checkpoint) (*Monitor, error) {
 	return m, nil
 }
 
-// WriteFile atomically persists the checkpoint as JSON.
+// WriteFile atomically and durably persists the checkpoint as JSON: the
+// payload is written to a temp file, fsynced, renamed into place, and the
+// parent directory is fsynced last. Without that final directory sync a
+// power cut after the rename could resurrect the previous checkpoint — the
+// rename lives in the directory, and an unsynced directory entry is
+// allowed to roll back — which would silently replay chunks the monitor
+// had already counted.
 func (cp *Checkpoint) WriteFile(path string) error {
 	data, err := json.Marshal(cp)
 	if err != nil {
 		return fmt.Errorf("stream: encoding checkpoint: %w", err)
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("stream: writing checkpoint: %w", err)
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("stream: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("stream: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("stream: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := fsyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("stream: syncing checkpoint dir: %w", err)
+	}
+	return nil
+}
+
+// fsyncDir makes a rename within dir durable. Swappable so the regression
+// test can observe that (and when) the directory sync happens.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ReadCheckpointFile loads a checkpoint written by WriteFile.

@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckpointWriteSyncsParentDir is the regression test for the
+// checkpoint durability fix: after the atomic rename, WriteFile must fsync
+// the parent directory exactly once, and only after the renamed file is in
+// place. An unsynced rename is allowed to roll back on power loss,
+// resurrecting the previous checkpoint and silently double-counting every
+// chunk replayed since — the companion failure mode to the torn-write test
+// next door.
+func TestCheckpointWriteSyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "monitor.ckpt")
+	cp := tornMonitor(t).Checkpoint()
+
+	var synced []string
+	var sawFinalAtSync bool
+	orig := fsyncDir
+	fsyncDir = func(d string) error {
+		synced = append(synced, d)
+		// The rename must already have happened when the directory is
+		// synced — syncing first then renaming leaves the rename itself
+		// volatile.
+		if _, err := os.Stat(path); err == nil {
+			sawFinalAtSync = true
+		}
+		if _, err := os.Stat(path + ".tmp"); err == nil {
+			t.Error("temp checkpoint still present at directory-sync time")
+		}
+		return orig(d)
+	}
+	defer func() { fsyncDir = orig }()
+
+	if err := cp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 {
+		t.Fatalf("parent directory synced %d times, want exactly 1", len(synced))
+	}
+	if synced[0] != dir {
+		t.Fatalf("synced %q, want the checkpoint's parent %q", synced[0], dir)
+	}
+	if !sawFinalAtSync {
+		t.Fatal("directory sync ran before the rename; the rename is not durable")
+	}
+
+	// The written checkpoint still round-trips.
+	back, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromCheckpoint(back); err != nil {
+		t.Fatal(err)
+	}
+
+	// A sync failure must surface, not be swallowed: callers treat a
+	// checkpoint write error as "do not advance past this point".
+	fsyncDir = func(string) error { return os.ErrPermission }
+	if err := cp.WriteFile(path); err == nil {
+		t.Fatal("WriteFile swallowed a directory-sync failure")
+	}
+}

@@ -1,0 +1,171 @@
+package stream
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"gdeltmine/internal/faults"
+	"gdeltmine/internal/gdelt"
+)
+
+// FeedServer simulates the live GDELT feed over a raw dataset directory
+// (as written by internal/gen.WriteRaw): it serves the real protocol — a
+// /lastupdate.txt rewritten per 15-minute tick with the newest tick's
+// "size crc32 path" lines, a cumulative /masterfilelist.txt, and the chunk
+// files themselves — and advances tick by tick under test control.
+// An optional faults.FeedChaos injects outages (lastupdate returns 503 for
+// the tick), duplicate ticks (lastupdate republishes the previous tick;
+// the new one is only discoverable via the master list), and reordered
+// drops (the tick's files land faults.DropDelay ticks late, surfacing in
+// the master list after newer ticks were already advertised).
+type FeedServer struct {
+	dir   string
+	chaos *faults.FeedChaos
+	ticks []feedTick
+	byPth map[string]int // chunk path -> tick index
+	cur   atomic.Int64   // index of the newest published tick; -1 = nothing yet
+}
+
+type feedTick struct {
+	ts      gdelt.Timestamp
+	entries []gdelt.MasterEntry
+}
+
+// NewFeedServer reads the dataset's master list and groups its entries
+// into ticks by capture-interval timestamp.
+func NewFeedServer(dir string, chaos *faults.FeedChaos) (*FeedServer, error) {
+	f, err := os.Open(filepath.Join(dir, "masterfilelist.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("stream: feed dataset: %w", err)
+	}
+	ml, err := gdelt.ReadMasterList(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	byTS := map[gdelt.Timestamp][]gdelt.MasterEntry{}
+	for _, e := range ml.Entries {
+		ts, err := e.Interval()
+		if err != nil {
+			return nil, fmt.Errorf("stream: feed dataset entry %q: %w", e.Path, err)
+		}
+		byTS[ts] = append(byTS[ts], e)
+	}
+	s := &FeedServer{dir: dir, chaos: chaos, byPth: map[string]int{}}
+	for ts := range byTS {
+		s.ticks = append(s.ticks, feedTick{ts: ts, entries: byTS[ts]})
+	}
+	sort.Slice(s.ticks, func(a, b int) bool { return s.ticks[a].ts < s.ticks[b].ts })
+	for i, tk := range s.ticks {
+		for _, e := range tk.entries {
+			s.byPth[e.Path] = i
+		}
+	}
+	s.cur.Store(-1)
+	return s, nil
+}
+
+// Ticks returns how many feed ticks the dataset holds.
+func (s *FeedServer) Ticks() int { return len(s.ticks) }
+
+// Pos returns the index of the newest published tick (-1 before the first
+// Advance).
+func (s *FeedServer) Pos() int { return int(s.cur.Load()) }
+
+// TickTS returns the timestamp of tick i.
+func (s *FeedServer) TickTS(i int) gdelt.Timestamp { return s.ticks[i].ts }
+
+// Advance publishes the next tick, reporting false once the feed is
+// exhausted.
+func (s *FeedServer) Advance() bool {
+	for {
+		cur := s.cur.Load()
+		if cur >= int64(len(s.ticks))-1 {
+			return false
+		}
+		if s.cur.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (s *FeedServer) fault(i int64) faults.FeedFault {
+	return s.chaos.FaultFor(s.ticks[i].ts.String())
+}
+
+// published reports whether tick i's files are fetchable: normally as soon
+// as the tick is current, but a dropped tick's files land DropDelay ticks
+// late.
+func (s *FeedServer) published(i, cur int64) bool {
+	if i > cur {
+		return false
+	}
+	if s.fault(i) == faults.FeedDrop && cur < i+faults.DropDelay {
+		return false
+	}
+	return true
+}
+
+func (s *FeedServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch filepath.Base(r.URL.Path) {
+	case "lastupdate.txt":
+		s.serveLastUpdate(w)
+	case "masterfilelist.txt":
+		s.serveMasterList(w)
+	default:
+		s.serveChunk(w, r)
+	}
+}
+
+func (s *FeedServer) serveLastUpdate(w http.ResponseWriter) {
+	cur := s.cur.Load()
+	if cur < 0 {
+		http.Error(w, "no update yet", http.StatusNotFound)
+		return
+	}
+	// An outage takes the endpoint down for the tick's whole stint at the
+	// head of the feed.
+	if s.fault(cur) == faults.FeedOutage {
+		http.Error(w, "feed unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	for i := cur; i >= 0; i-- {
+		switch {
+		case i == cur && s.fault(i) == faults.FeedDuplicate:
+			// Stale republish: the previous tick's lastupdate again.
+			continue
+		case !s.published(i, cur):
+			continue
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		gdelt.WriteMasterList(w, &gdelt.MasterList{Entries: s.ticks[i].entries})
+		return
+	}
+	http.Error(w, "no update yet", http.StatusNotFound)
+}
+
+func (s *FeedServer) serveMasterList(w http.ResponseWriter) {
+	cur := s.cur.Load()
+	ml := &gdelt.MasterList{}
+	for i := int64(0); i <= cur && i < int64(len(s.ticks)); i++ {
+		if s.published(i, cur) {
+			ml.Entries = append(ml.Entries, s.ticks[i].entries...)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	gdelt.WriteMasterList(w, ml)
+}
+
+func (s *FeedServer) serveChunk(w http.ResponseWriter, r *http.Request) {
+	name := filepath.Base(r.URL.Path)
+	i, ok := s.byPth[name]
+	if !ok || !s.published(int64(i), s.cur.Load()) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	http.ServeFile(w, r, filepath.Join(s.dir, name))
+}

@@ -1,0 +1,419 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"gdeltmine/internal/gdelt"
+	"gdeltmine/internal/obs"
+	"gdeltmine/internal/shard"
+)
+
+var (
+	mLiveTicks = obs.Default.Counter("stream_live_ticks_total",
+		"feed ticks fetched, parsed and folded by the live poller")
+	mLiveDup = obs.Default.Counter("stream_live_duplicates_total",
+		"lastupdate polls that re-advertised an already-known tick")
+	mLiveOutages = obs.Default.Counter("stream_live_outages_total",
+		"polls that found the feed endpoint down")
+	mLiveCatchup = obs.Default.Counter("stream_live_catchup_total",
+		"ticks recovered through the master list after missing from lastupdate")
+	mLiveSkipped = obs.Default.Counter("stream_live_skipped_total",
+		"ticks given up on after exhausting the catch-up budget")
+)
+
+// ErrFeedDown reports that the feed's lastupdate endpoint answered with a
+// server error — the outage case, retryable by the next poll.
+var ErrFeedDown = errors.New("stream: feed unavailable")
+
+// FeedClient speaks the GDELT lastupdate/masterfile convention against a
+// feed base URL.
+type FeedClient struct {
+	// Base is the feed root, e.g. "http://data.gdeltproject.org/gdeltv2"
+	// or a test server URL. No trailing slash.
+	Base string
+	// HTTP is the client to use; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *FeedClient) get(ctx context.Context, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/"+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	h := c.HTTP
+	if h == nil {
+		h = http.DefaultClient
+	}
+	resp, err := h.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return nil, fmt.Errorf("%w: %s: %s", ErrFeedDown, name, resp.Status)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stream: feed %s: %s", name, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// LastUpdate fetches and strictly parses the newest tick's file list.
+func (c *FeedClient) LastUpdate(ctx context.Context) ([]gdelt.MasterEntry, error) {
+	data, err := c.get(ctx, "lastupdate.txt")
+	if err != nil {
+		return nil, err
+	}
+	return gdelt.ReadLastUpdate(bytes.NewReader(data))
+}
+
+// MasterList fetches the cumulative master file list (tolerant parse — the
+// real one carries the malformed lines the paper catalogued).
+func (c *FeedClient) MasterList(ctx context.Context) (*gdelt.MasterList, error) {
+	data, err := c.get(ctx, "masterfilelist.txt")
+	if err != nil {
+		return nil, err
+	}
+	return gdelt.ReadMasterList(bytes.NewReader(data))
+}
+
+// Fetch downloads one chunk file and verifies its advertised size and
+// CRC-32 before handing it over.
+func (c *FeedClient) Fetch(ctx context.Context, e gdelt.MasterEntry) ([]byte, error) {
+	data, err := c.get(ctx, e.Path)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != e.Size {
+		return nil, fmt.Errorf("stream: chunk %s: %d bytes, master list says %d", e.Path, len(data), e.Size)
+	}
+	if got := gdelt.Checksum32(data); got != e.Checksum {
+		return nil, fmt.Errorf("stream: chunk %s: checksum %s, master list says %s", e.Path, got, e.Checksum)
+	}
+	return data, nil
+}
+
+// LiveConfig tunes the live poller.
+type LiveConfig struct {
+	// TickIntervals is the feed's tick spacing in capture intervals
+	// (how many 15-minute intervals one file pair covers). 0 means 1.
+	TickIntervals int32
+	// SkipAfterPolls is how many consecutive polls a tick may stay
+	// missing — while newer ticks are already buffered — before the
+	// poller declares it lost and moves on (the gap then shows in the
+	// monitor's ledger). Catch-up via the master list is attempted on
+	// every such poll first. 0 means 3.
+	SkipAfterPolls int
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.TickIntervals == 0 {
+		c.TickIntervals = 1
+	}
+	if c.SkipAfterPolls == 0 {
+		c.SkipAfterPolls = 3
+	}
+	return c
+}
+
+// LiveStats counts what the poller has seen.
+type LiveStats struct {
+	Polls      int // PollOnce calls
+	Ticks      int // ticks fetched, parsed and folded
+	Events     int // event records folded
+	Mentions   int // mention records folded
+	Duplicates int // lastupdate polls re-advertising a known tick
+	Outages    int // polls that found the feed down
+	CatchUps   int // ticks recovered via the master list
+	Skipped    []gdelt.Timestamp
+}
+
+// LiveRunner polls a live feed and folds each tick, strictly in feed
+// order, into a Monitor (incremental stats, alerts, chunk ledger) and an
+// optional shard.Log (the queryable append log). Out-of-order arrivals —
+// the reordered-drop fault — are buffered until the missing tick is
+// recovered through the master list or given up on; duplicate
+// advertisements are dropped by tick timestamp. The runner is
+// single-goroutine: call PollOnce from one loop.
+type LiveRunner struct {
+	cl  *FeedClient
+	mon *Monitor
+	lg  *shard.Log
+	cfg LiveConfig
+
+	base    int64 // interval index of the archive start
+	next    int64 // interval index of the next tick to apply
+	end     int64 // one past the last valid interval index
+	stall   int
+	failIv  int64 // tick whose fetch keeps failing
+	fails   int   // consecutive fetch failures of failIv
+	pending map[int64][]gdelt.MasterEntry
+	stats   LiveStats
+}
+
+// NewLiveRunner starts polling at the tick whose timestamp is start. mon
+// is required (it owns the chunk ledger and gap accounting); lg may be nil
+// for a stats-only deployment. When resuming from a checkpoint, pass
+// ResumePoint's result as start so already-folded ticks are not re-applied.
+func NewLiveRunner(cl *FeedClient, mon *Monitor, lg *shard.Log, start gdelt.Timestamp, cfg LiveConfig) *LiveRunner {
+	r := &LiveRunner{
+		cl: cl, mon: mon, lg: lg, cfg: cfg.withDefaults(),
+		pending: map[int64][]gdelt.MasterEntry{},
+	}
+	r.base = start.IntervalIndex()
+	r.next = r.base
+	r.end = 0
+	if lg != nil {
+		meta := lg.Snapshot().Meta()
+		r.end = meta.Start.IntervalIndex() + int64(meta.Intervals)
+	}
+	return r
+}
+
+// ResumePoint returns the first tick at or after start that the monitor's
+// chunk ledger has not marked — where a restarted poller should resume so
+// checkpointed ticks are not double-counted. spacing is the feed's tick
+// spacing in capture intervals.
+func ResumePoint(m *Monitor, start gdelt.Timestamp, spacing int32) gdelt.Timestamp {
+	iv := start.IntervalIndex()
+	for m.SeenChunk(gdelt.IntervalStart(iv)) {
+		iv += int64(spacing)
+	}
+	return gdelt.IntervalStart(iv)
+}
+
+// Stats returns a snapshot of the poll counters.
+func (r *LiveRunner) Stats() LiveStats {
+	s := r.stats
+	s.Skipped = append([]gdelt.Timestamp(nil), r.stats.Skipped...)
+	return s
+}
+
+// Pending returns how many fetched-but-not-yet-applicable ticks are
+// buffered (newer ticks waiting on a missing older one).
+func (r *LiveRunner) Pending() int { return len(r.pending) }
+
+// PollOnce performs one poll cycle: read lastupdate, buffer the advertised
+// tick, recover older missing ticks through the master list when newer
+// ones are already waiting, and apply every applicable tick in strict feed
+// order. A feed outage is not an error — it is counted and the cycle
+// continues with whatever is already buffered.
+func (r *LiveRunner) PollOnce(ctx context.Context) error {
+	r.stats.Polls++
+	entries, err := r.cl.LastUpdate(ctx)
+	switch {
+	case errors.Is(err, ErrFeedDown):
+		r.stats.Outages++
+		mLiveOutages.Inc()
+	case err != nil:
+		return err
+	default:
+		r.buffer(entries)
+	}
+
+	// A tick is "missing" only when a newer one is already buffered — the
+	// feed has demonstrably moved past it. While that holds, try the
+	// master list (reordered drops surface there late), and after
+	// SkipAfterPolls such polls declare the tick lost.
+	if r.aheadOfNext() {
+		r.stall++
+		ml, err := r.cl.MasterList(ctx)
+		if err == nil {
+			before := len(r.pending)
+			r.buffer(ml.Entries)
+			if _, ok := r.pending[r.next]; ok {
+				r.stats.CatchUps += len(r.pending) - before
+				mLiveCatchup.Add(int64(len(r.pending) - before))
+			}
+		}
+		if _, ok := r.pending[r.next]; !ok && r.stall >= r.cfg.SkipAfterPolls {
+			ts := gdelt.IntervalStart(r.next)
+			r.stats.Skipped = append(r.stats.Skipped, ts)
+			mLiveSkipped.Inc()
+			r.next += int64(r.cfg.TickIntervals)
+			r.stall = 0
+		}
+	} else {
+		r.stall = 0
+	}
+
+	// Apply everything applicable, in order. Fetch and parse failures are
+	// retryable — the tick stays pending and the next poll tries again —
+	// but a tick that keeps failing for SkipAfterPolls polls (an advertised
+	// chunk the feed never actually serves) is given up on like a
+	// never-advertised one: dropped, recorded, its interval left as a gap
+	// in the monitor's ledger. Fold errors are returned undamped: the fold
+	// runs only after a fully successful fetch, and a failed Append leaves
+	// the log unmutated, so they signal a logic error, not feed weather.
+	for {
+		entries, ok := r.pending[r.next]
+		if !ok {
+			break
+		}
+		// A restarted poller resumes at the first UNSEEN tick (ResumePoint
+		// returns the earliest ledger gap), so every already-checkpointed
+		// tick between that gap and the previous run's frontier comes past
+		// here again — consumed ticks must be dropped like any duplicate,
+		// never re-fetched: re-folding them would double-count the monitor
+		// and append below the log's sealed window.
+		if r.mon.SeenChunk(gdelt.IntervalStart(r.next)) {
+			r.stats.Duplicates++
+			mLiveDup.Inc()
+			delete(r.pending, r.next)
+			r.next += int64(r.cfg.TickIntervals)
+			r.stall = 0
+			continue
+		}
+		// An unseen tick the monitor can no longer accept (a ledger gap
+		// deeper than the grace window, surfacing only after a restart)
+		// is unrecoverable: folding it would regress the stream clock
+		// beyond grace. Skip it BEFORE fetching — and before the log
+		// append, which must never run for a tick the monitor will then
+		// reject. The gap stays on the ledger.
+		if !r.mon.Foldable(gdelt.IntervalStart(r.next)) {
+			r.stats.Skipped = append(r.stats.Skipped, gdelt.IntervalStart(r.next))
+			mLiveSkipped.Inc()
+			delete(r.pending, r.next)
+			r.next += int64(r.cfg.TickIntervals)
+			r.stall = 0
+			continue
+		}
+		evs, mns, err := r.fetchTick(ctx, entries)
+		if err != nil {
+			if r.failIv != r.next {
+				r.failIv, r.fails = r.next, 0
+			}
+			if r.fails++; r.fails >= r.cfg.SkipAfterPolls {
+				delete(r.pending, r.next)
+				r.stats.Skipped = append(r.stats.Skipped, gdelt.IntervalStart(r.next))
+				mLiveSkipped.Inc()
+				r.next += int64(r.cfg.TickIntervals)
+				r.fails = 0
+			}
+			return err
+		}
+		r.fails = 0
+		if err := r.foldTick(r.next, evs, mns); err != nil {
+			return err
+		}
+		delete(r.pending, r.next)
+		r.next += int64(r.cfg.TickIntervals)
+		r.stall = 0
+	}
+	return nil
+}
+
+// buffer files advertised entries under their tick, dropping ticks already
+// applied or already buffered (duplicates).
+func (r *LiveRunner) buffer(entries []gdelt.MasterEntry) {
+	byTick := map[int64][]gdelt.MasterEntry{}
+	for _, e := range entries {
+		ts, err := e.Interval()
+		if err != nil {
+			continue
+		}
+		byTick[ts.IntervalIndex()] = append(byTick[ts.IntervalIndex()], e)
+	}
+	for iv, group := range byTick {
+		switch {
+		case iv < r.next:
+			r.stats.Duplicates++
+			mLiveDup.Inc()
+		case r.pending[iv] != nil:
+			// Re-advertised while buffered: only lastupdate repeats count
+			// as duplicates; master-list sightings are the normal case.
+			if len(byTick) == 1 {
+				r.stats.Duplicates++
+				mLiveDup.Inc()
+			}
+		default:
+			r.pending[iv] = group
+		}
+	}
+}
+
+// aheadOfNext reports whether a tick newer than next is already buffered.
+func (r *LiveRunner) aheadOfNext() bool {
+	for iv := range r.pending {
+		if iv > r.next {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchTick fetches and parses one tick's files without side effects, so a
+// failure here can be retried or the tick skipped. GKG files are ignored —
+// the append path extends the event/mention tables only.
+func (r *LiveRunner) fetchTick(ctx context.Context, entries []gdelt.MasterEntry) ([]gdelt.Event, []gdelt.Mention, error) {
+	// Deterministic order: export before mentions.
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Kind() < entries[b].Kind() })
+	var evs []gdelt.Event
+	var mns []gdelt.Mention
+	var fields [][]byte
+	for _, e := range entries {
+		kind := e.Kind()
+		if kind != "export" && kind != "mentions" {
+			continue
+		}
+		data, err := r.cl.Fetch(ctx, e)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, line := range bytes.Split(data, []byte{'\n'}) {
+			if len(line) == 0 {
+				continue
+			}
+			fields = gdelt.SplitTabs(line, fields[:0])
+			if kind == "export" {
+				ev, err := gdelt.ParseEventFields(fields)
+				if err != nil {
+					return nil, nil, fmt.Errorf("stream: %s: %w", e.Path, err)
+				}
+				evs = append(evs, ev)
+			} else {
+				mn, err := gdelt.ParseMentionFields(fields)
+				if err != nil {
+					return nil, nil, fmt.Errorf("stream: %s: %w", e.Path, err)
+				}
+				mns = append(mns, mn)
+			}
+		}
+	}
+	return evs, mns, nil
+}
+
+// foldTick folds one fully fetched tick: events and mentions into the
+// append log first (a failed fold must not mark the tick consumed), then
+// the monitor's ledger and incremental stats.
+func (r *LiveRunner) foldTick(iv int64, evs []gdelt.Event, mns []gdelt.Mention) error {
+	if r.end > 0 && iv >= r.end {
+		return fmt.Errorf("stream: tick %s beyond the append log's archive span", gdelt.IntervalStart(iv))
+	}
+	if r.lg != nil {
+		if _, err := r.lg.Append(evs, mns); err != nil {
+			return fmt.Errorf("stream: folding tick %s: %w", gdelt.IntervalStart(iv), err)
+		}
+	}
+	ts := gdelt.IntervalStart(iv)
+	r.mon.MarkChunk(ts)
+	for i := range evs {
+		r.mon.ObserveEvent(&evs[i])
+	}
+	for i := range mns {
+		if err := r.mon.ObserveMention(&mns[i]); err != nil {
+			return err
+		}
+	}
+	r.stats.Ticks++
+	r.stats.Events += len(evs)
+	r.stats.Mentions += len(mns)
+	mLiveTicks.Inc()
+	return nil
+}

@@ -203,6 +203,16 @@ func (m *Monitor) SeenChunk(ts gdelt.Timestamp) bool {
 	return ok
 }
 
+// Foldable reports whether a chunk starting at ts could still be folded:
+// at or ahead of the clock, or behind it within the grace window. A
+// resumed or catching-up feeder uses it to recognize gaps too old to
+// recover — ObserveMention rejects clock regressions deeper than grace,
+// so folding such a chunk would break the stream.
+func (m *Monitor) Foldable(ts gdelt.Timestamp) bool {
+	iv := int32(ts.IntervalIndex() - m.base)
+	return m.now-iv <= m.cfg.GraceIntervals
+}
+
 // chunkSpacing returns the expected gap between chunk marks: the
 // configured value, or the smallest observed spacing, or 0 when fewer than
 // two distinct marks exist (no gap detection possible yet).
